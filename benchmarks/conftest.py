@@ -1,0 +1,44 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures at a reduced
+but representative scale (the full paper-scale settings are exposed through
+each experiment's config dataclass).  Results are printed as the same rows /
+series the paper reports, and the qualitative shape is asserted via each
+experiment module's ``check_shape``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def report(title: str, rows) -> None:
+    """Print a small table to the benchmark output."""
+    print(f"\n=== {title} ===")
+    if not rows:
+        print("(no rows)")
+        return
+    if isinstance(rows, dict):
+        rows = [{"key": key, "value": value} for key, value in rows.items()]
+    columns = list(rows[0].keys())
+    header = " | ".join(f"{column:>22}" for column in columns)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(" | ".join(f"{_fmt(row[column]):>22}" for column in columns))
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

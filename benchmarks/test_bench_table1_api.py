@@ -1,0 +1,85 @@
+"""Table I benchmark: the modeling-interface attributes are fully supported.
+
+Parses a GraphML task description exercising every Table I attribute, builds
+the emulation, and reports parse/build throughput.
+"""
+
+from repro.core import Emulation, parse_graphml_string
+from repro.core.attributes import (
+    ALL_GRAPH_ATTRIBUTES,
+    ALL_LINK_ATTRIBUTES,
+    ALL_NODE_ATTRIBUTES,
+)
+from benchmarks.conftest import report
+
+FULL_ATTRIBUTE_DOC = """<?xml version="1.0"?>
+<graphml xmlns="http://graphml.graphdrawing.org/xmlns">
+  <graph edgedefault="undirected">
+    <data key="topicCfg">{topics: [{name: raw-data, replicas: 2, primaryBroker: h2}]}</data>
+    <data key="faultCfg">{faults: [{kind: link_down, targets: [h1, s1], start: 30, duration: 10}]}</data>
+    <node id="h1">
+      <data key="prodType">SFST</data>
+      <data key="prodCfg">{topicName: raw-data, totalMessages: 10, messagesPerSecond: 5}</data>
+      <data key="cpuPercentage">50</data>
+    </node>
+    <node id="h2"><data key="brokerCfg">{coordinator: true}</data></node>
+    <node id="h6"><data key="brokerCfg">{}</data></node>
+    <node id="h3">
+      <data key="streamProcType">SPARK</data>
+      <data key="streamProcCfg">{app: word_count, inputTopics: [raw-data], outputTopic: words-per-doc}</data>
+    </node>
+    <node id="h4">
+      <data key="storeType">MYSQL</data>
+      <data key="storeCfg">{tables: [results]}</data>
+    </node>
+    <node id="h5">
+      <data key="consType">STANDARD</data>
+      <data key="consCfg">{topics: [raw-data]}</data>
+    </node>
+    <node id="s1"/>
+    <edge source="h1" target="s1"><data key="lat">10</data><data key="bw">100</data><data key="loss">0.1</data><data key="st">1</data><data key="dt">1</data></edge>
+    <edge source="h2" target="s1"><data key="lat">5</data><data key="bw">100</data></edge>
+    <edge source="h6" target="s1"><data key="lat">5</data><data key="bw">100</data></edge>
+    <edge source="h3" target="s1"><data key="lat">5</data><data key="bw">100</data></edge>
+    <edge source="h4" target="s1"><data key="lat">5</data><data key="bw">100</data></edge>
+    <edge source="h5" target="s1"><data key="lat">5</data><data key="bw">100</data></edge>
+  </graph>
+</graphml>
+"""
+
+
+def test_bench_table1_attribute_coverage(run_once):
+    """Every Table I attribute parses, validates and deploys."""
+
+    def parse_and_build():
+        task = parse_graphml_string(FULL_ATTRIBUTE_DOC)
+        assert task.validate() == []
+        emulation = Emulation(task, seed=1)
+        emulation.build()
+        return task, emulation
+
+    task, emulation = run_once(parse_and_build)
+
+    used_node_attributes = set()
+    for node in task.nodes.values():
+        used_node_attributes.update(node.attributes)
+    used_link_attributes = set()
+    for link in task.links:
+        used_link_attributes.update(link.attributes)
+
+    rows = [
+        {"scope": "graph", "attributes": len(ALL_GRAPH_ATTRIBUTES),
+         "exercised": len(set(task.graph_attributes) & set(ALL_GRAPH_ATTRIBUTES))},
+        {"scope": "node", "attributes": len(ALL_NODE_ATTRIBUTES),
+         "exercised": len(used_node_attributes & set(ALL_NODE_ATTRIBUTES))},
+        {"scope": "link", "attributes": len(ALL_LINK_ATTRIBUTES),
+         "exercised": len(used_link_attributes & set(ALL_LINK_ATTRIBUTES))},
+    ]
+    report("Table I: attribute coverage of the modeling interface", rows)
+    assert rows[0]["exercised"] == len(ALL_GRAPH_ATTRIBUTES)
+    assert rows[1]["exercised"] == len(ALL_NODE_ATTRIBUTES)
+    assert rows[2]["exercised"] == len(ALL_LINK_ATTRIBUTES)
+    assert len(emulation.producers) == 1
+    assert len(emulation.spes) == 1
+    assert len(emulation.stores) == 1
+    assert len(emulation.consumers) == 1

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Domain example: streaming fraud detection with an SVM.
+
+Deploys the Table II fraud-detection pipeline: a transaction producer, a
+broker, a stream processing job that scores every transaction with a linear
+SVM, a consumer of the alert topic, and a data store.  Prints the alert
+quality achieved on a synthetic labelled stream.
+
+Run with::
+
+    python examples/fraud_detection_pipeline.py
+"""
+
+from repro.apps.fraud_detection import run as run_fraud_detection
+
+
+def main() -> None:
+    result = run_fraud_detection(
+        n_transactions=300,
+        duration=60.0,
+        seed=13,
+        fraud_rate=0.1,
+        transactions_per_second=30.0,
+    )
+    print("--- fraud detection pipeline ---")
+    print(f"transactions produced : {result.messages_produced}")
+    print(f"alerts raised         : {result.extras['alerts']}")
+    print(f"true positives        : {result.extras['true_positive_alerts']}")
+    print(f"frauds in the stream  : {result.extras['actual_frauds_in_stream']}")
+    recall = (
+        result.extras["true_positive_alerts"] / result.extras["actual_frauds_in_stream"]
+        if result.extras["actual_frauds_in_stream"]
+        else 0.0
+    )
+    precision = (
+        result.extras["true_positive_alerts"] / result.extras["alerts"]
+        if result.extras["alerts"]
+        else 0.0
+    )
+    print(f"recall                : {recall:.2f}")
+    print(f"precision             : {precision:.2f}")
+    print(f"mean alert latency    : {result.latency_summary['mean']:.3f}s")
+    print(f"median host CPU       : {result.resource_report.median_cpu():.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""repro — a reproduction of stream2gym (ICDCS 2023).
+
+A pure-Python, discrete-event reproduction of "Fast Prototyping of
+Distributed Stream Processing Applications with stream2gym": a Mininet-like
+network emulator, a Kafka-like event streaming platform, a Spark-like
+micro-batch stream processing engine, data stores, the stream2gym high-level
+prototyping interface, the paper's five example applications, and experiment
+harnesses for every table and figure of its evaluation.
+
+Most users start from :class:`repro.core.Emulation` together with a task
+description (programmatic or GraphML); see README.md for a quickstart.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

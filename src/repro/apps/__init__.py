@@ -1,0 +1,61 @@
+"""Example applications (Table II of the paper).
+
+Five applications are bundled, matching the set the paper deploys to assess
+prototyping effort:
+
+========================  ==========  ==========================================
+Application               Components  Features
+========================  ==========  ==========================================
+Word count                5           Multiple stream processing jobs
+Ride selection            5           Structured data, stateful processing
+Sentiment analysis        3           Unstructured data
+Maritime monitoring       4           Persistent storage
+Fraud detection           5           Machine learning prediction
+========================  ==========  ==========================================
+
+Each module exposes
+
+* one or more *app builders* registered with :mod:`repro.core.registry`
+  (referenced from ``streamProcCfg`` documents via their ``app`` name);
+* a ``create_task()`` helper producing the application's task description
+  (pipeline allocation + topics + topology); and
+* a ``run()`` convenience that builds and runs the emulation end to end.
+
+Importing this package registers every bundled application.
+"""
+
+from repro.apps import (  # noqa: F401  (imports register the app builders)
+    fraud_detection,
+    maritime_monitoring,
+    ride_selection,
+    sentiment_analysis,
+    word_count,
+)
+
+from repro.apps.word_count import create_task as create_word_count_task, run as run_word_count
+from repro.apps.ride_selection import create_task as create_ride_selection_task, run as run_ride_selection
+from repro.apps.sentiment_analysis import (
+    create_task as create_sentiment_task,
+    run as run_sentiment_analysis,
+)
+from repro.apps.maritime_monitoring import (
+    create_task as create_maritime_task,
+    run as run_maritime_monitoring,
+)
+from repro.apps.fraud_detection import (
+    create_task as create_fraud_task,
+    run as run_fraud_detection,
+)
+
+__all__ = [
+    "create_word_count_task",
+    "run_word_count",
+    "create_ride_selection_task",
+    "run_ride_selection",
+    "create_sentiment_task",
+    "run_sentiment_analysis",
+    "create_maritime_task",
+    "run_maritime_monitoring",
+    "create_fraud_task",
+    "run_fraud_detection",
+]

@@ -1,0 +1,519 @@
+"""Broker server: replicated partition logs plus the produce/fetch protocol."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.broker.coordinator import COORDINATOR_PORT, CoordinationMode
+from repro.broker.errors import (
+    NotEnoughReplicasError,
+    NotLeaderError,
+    UnknownTopicError,
+)
+from repro.broker.log import LogRecord, PartitionLog
+from repro.network.host import Host
+from repro.network.transport import Request, RequestTimeout, Response, Transport
+
+BROKER_PORT = 9092
+
+
+@dataclass
+class BrokerConfig:
+    """Tunable broker parameters (a subset of Kafka's ``server.properties``).
+
+    The defaults reflect the "tuned for emulation scale" settings described in
+    the paper's design section (smaller buffers, tighter intervals) rather
+    than stock Kafka defaults.
+    """
+
+    heartbeat_interval: float = 1.5
+    replica_fetch_interval: float = 0.1
+    replica_fetch_max_records: int = 500
+    replica_lag_max: float = 10.0
+    min_insync_replicas: int = 1
+    #: CPU seconds charged per handled request and per record, modelling the
+    #: JVM broker's request-handler work on the shared emulation host.
+    cpu_per_request: float = 60e-6
+    cpu_per_record: float = 12e-6
+    #: In KRaft mode a leader only accepts produce requests while its
+    #: coordinator session has been refreshed within this horizon.
+    leadership_lease: float = 4.0
+
+
+@dataclass
+class ReplicaState:
+    """Leader-side bookkeeping for one locally-led partition."""
+
+    follower_offsets: Dict[str, int] = field(default_factory=dict)
+    follower_caught_up_at: Dict[str, float] = field(default_factory=dict)
+    #: When this broker (re)took leadership — new followers get a grace
+    #: period of ``replica_lag_max`` from this point before ISR eviction.
+    since: float = 0.0
+
+
+class Broker:
+    """One broker process bound to an emulated host."""
+
+    def __init__(
+        self,
+        host: Host,
+        name: Optional[str] = None,
+        coordinator_host: Optional[str] = None,
+        mode: CoordinationMode = CoordinationMode.ZOOKEEPER,
+        config: Optional[BrokerConfig] = None,
+    ) -> None:
+        self.host = host
+        self.sim = host.sim
+        self.name = name or f"broker-{host.name}"
+        self.coordinator_host = coordinator_host
+        self.mode = CoordinationMode(mode)
+        self.config = config or BrokerConfig()
+        self.transport = Transport(host, default_timeout=1.0, max_retries=0)
+        self.logs: Dict[str, PartitionLog] = {}
+        self.metadata: dict = {"version": -1, "partitions": {}, "brokers": {}}
+        self.replica_states: Dict[str, ReplicaState] = {}
+        self._local_epochs: Dict[str, int] = {}
+        self._truncation_pending: Dict[str, bool] = {}
+        self.last_session_refresh: float = host.sim.now
+        self.running = False
+        self.records_appended = 0
+        self.records_served = 0
+        self.produce_rejections = 0
+        self.lost_records: List[LogRecord] = []
+        self.transport.register(BROKER_PORT, self._handle)
+        host.register_component(self)
+
+    # -- lifecycle -----------------------------------------------------------------------
+    def start(self) -> None:
+        """Register with the coordinator and start background loops."""
+        if self.running:
+            return
+        self.running = True
+        self.sim.process(self._control_loop(), name=f"{self.name}:control")
+        self.sim.process(self._replica_fetch_loop(), name=f"{self.name}:replica-fetcher")
+
+    def stop(self) -> None:
+        self.running = False
+
+    # -- control plane -------------------------------------------------------------------
+    def _control_loop(self):
+        """Register, then heartbeat and refresh metadata forever."""
+        if self.coordinator_host is not None:
+            while True:
+                try:
+                    yield from self.transport.request(
+                        self.coordinator_host,
+                        COORDINATOR_PORT,
+                        {"type": "register", "broker": self.name, "host": self.host.name},
+                        timeout=1.0,
+                    )
+                    self.last_session_refresh = self.sim.now
+                    break
+                except RequestTimeout:
+                    yield self.sim.timeout(1.0)
+        while self.running:
+            yield self.sim.timeout(self.config.heartbeat_interval)
+            if self.coordinator_host is None:
+                continue
+            try:
+                reply = yield from self.transport.request(
+                    self.coordinator_host,
+                    COORDINATOR_PORT,
+                    {"type": "heartbeat", "broker": self.name},
+                    timeout=1.0,
+                )
+            except RequestTimeout:
+                continue
+            self.last_session_refresh = self.sim.now
+            if reply.get("version", -1) != self.metadata.get("version", -1):
+                yield from self._refresh_metadata()
+
+    def _refresh_metadata(self):
+        try:
+            snapshot = yield from self.transport.request(
+                self.coordinator_host,
+                COORDINATOR_PORT,
+                {"type": "metadata"},
+                timeout=1.0,
+            )
+        except RequestTimeout:
+            return
+        self.apply_metadata(snapshot)
+
+    def apply_metadata(self, snapshot: dict) -> None:
+        """Apply a metadata snapshot: create logs, pick up/drop leadership."""
+        self.metadata = snapshot
+        for key, info in snapshot.get("partitions", {}).items():
+            if self.name not in info["replicas"]:
+                continue
+            if key not in self.logs:
+                self.logs[key] = PartitionLog(info["topic"], info["partition"])
+            previous_epoch = self._local_epochs.get(key, -1)
+            new_epoch = info["leader_epoch"]
+            if new_epoch > previous_epoch:
+                self._local_epochs[key] = new_epoch
+                if info["leader"] == self.name:
+                    # Taking (or keeping) leadership under a new epoch.
+                    self.replica_states.setdefault(key, ReplicaState(since=self.sim.now))
+                else:
+                    # Now following a (possibly new) leader: reconcile our log
+                    # with the leader's before fetching again.
+                    self._truncation_pending[key] = True
+
+    @property
+    def session_fresh(self) -> bool:
+        """True while the broker's coordinator session is within the lease window."""
+        return (self.sim.now - self.last_session_refresh) <= self.config.leadership_lease
+
+    # -- helpers -----------------------------------------------------------------------------
+    def _partition_info(self, key: str) -> Optional[dict]:
+        return self.metadata.get("partitions", {}).get(key)
+
+    def _is_leader(self, key: str) -> bool:
+        info = self._partition_info(key)
+        return bool(info) and info["leader"] == self.name
+
+    def _leader_hint(self, key: str) -> Optional[str]:
+        info = self._partition_info(key)
+        if not info:
+            return None
+        leader = info.get("leader")
+        brokers = self.metadata.get("brokers", {})
+        if leader and leader in brokers:
+            return brokers[leader]["host"]
+        return None
+
+    def _broker_host(self, broker_name: str) -> Optional[str]:
+        entry = self.metadata.get("brokers", {}).get(broker_name)
+        return entry["host"] if entry else None
+
+    def log_for(self, topic: str, partition: int = 0) -> Optional[PartitionLog]:
+        return self.logs.get(f"{topic}-{partition}")
+
+    # -- request handling -----------------------------------------------------------------------
+    def _handle(self, request: Request):
+        if not self.running:
+            return {"error": "unavailable"}
+        payload = request.payload or {}
+        request_type = payload.get("type")
+        if request_type == "produce":
+            return self._handle_produce(payload)
+        if request_type == "fetch":
+            return self._handle_fetch(payload)
+        if request_type == "replica_fetch":
+            return self._handle_replica_fetch(payload)
+        if request_type == "epoch_end_offset":
+            return self._handle_epoch_end_offset(payload)
+        if request_type == "metadata":
+            return {"metadata": self.metadata}
+        return {"error": f"unknown request type {request_type!r}"}
+
+    # -- produce path ------------------------------------------------------------------------------
+    def _handle_produce(self, payload: dict):
+        key = f"{payload['topic']}-{payload.get('partition', 0)}"
+        records = payload.get("records", [])
+        acks = payload.get("acks", 1)
+
+        def produce_process():
+            info = self._partition_info(key)
+            if info is None:
+                self.produce_rejections += 1
+                return {"error": "unknown_topic"}
+            if not self._is_leader(key):
+                self.produce_rejections += 1
+                return {"error": "not_leader", "leader_host": self._leader_hint(key)}
+            if self.mode is CoordinationMode.KRAFT and not self.session_fresh:
+                # Raft-based metadata: a leader that lost quorum contact stops
+                # acknowledging writes, so nothing can be silently truncated.
+                self.produce_rejections += 1
+                return {"error": "not_leader", "leader_host": None}
+            if acks == "all" and len(info["isr"]) < self.config.min_insync_replicas:
+                self.produce_rejections += 1
+                return {"error": "not_enough_replicas"}
+            cost = self.config.cpu_per_request + self.config.cpu_per_record * len(records)
+            yield from self.host.compute(cost)
+            log = self.logs[key]
+            epoch = self._local_epochs.get(key, info["leader_epoch"])
+            base_offset = log.log_end_offset
+            total_size = 0
+            for record in records:
+                log.append(
+                    key=record.get("key"),
+                    value=record.get("value"),
+                    size=record.get("size", 0),
+                    timestamp=self.sim.now,
+                    produced_at=record.get("produced_at", self.sim.now),
+                    leader_epoch=epoch,
+                    headers=record.get("headers"),
+                )
+                total_size += record.get("size", 0)
+            self.records_appended += len(records)
+            self._maybe_advance_high_watermark(key)
+            if acks == "all":
+                last_offset = log.log_end_offset
+                deadline = self.sim.now + 30.0
+                while log.high_watermark < last_offset and self.sim.now < deadline:
+                    yield self.sim.timeout(0.01)
+                if log.high_watermark < last_offset:
+                    return {"error": "not_enough_replicas"}
+            return Response(
+                payload={"error": None, "base_offset": base_offset, "log_end_offset": log.log_end_offset},
+                size=64,
+            )
+
+        return produce_process()
+
+    def _maybe_advance_high_watermark(self, key: str) -> None:
+        """Leader-side: HW = min(LEO, slowest in-sync follower's fetched offset)."""
+        info = self._partition_info(key)
+        if info is None or not self._is_leader(key):
+            return
+        log = self.logs[key]
+        replica_state = self.replica_states.setdefault(key, ReplicaState())
+        isr_followers = [b for b in info["isr"] if b != self.name]
+        if not isr_followers:
+            if len(info["isr"]) <= 1 and len(info["replicas"]) == 1:
+                log.advance_high_watermark(log.log_end_offset)
+            elif set(info["isr"]) == {self.name}:
+                log.advance_high_watermark(log.log_end_offset)
+            return
+        offsets = [
+            replica_state.follower_offsets.get(follower, 0) for follower in isr_followers
+        ]
+        log.advance_high_watermark(min([log.log_end_offset] + offsets))
+
+    # -- consumer fetch path -----------------------------------------------------------------------------
+    def _handle_fetch(self, payload: dict):
+        key = f"{payload['topic']}-{payload.get('partition', 0)}"
+
+        def fetch_process():
+            info = self._partition_info(key)
+            if info is None:
+                return {"error": "unknown_topic"}
+            if not self._is_leader(key):
+                return {"error": "not_leader", "leader_host": self._leader_hint(key)}
+            log = self.logs[key]
+            offset = payload.get("offset", 0)
+            if offset > log.log_end_offset:
+                offset = log.log_end_offset
+            max_records = payload.get("max_records", 500)
+            records = log.committed_read(offset, max_records=max_records)
+            cost = self.config.cpu_per_request + self.config.cpu_per_record * len(records)
+            yield from self.host.compute(cost)
+            self.records_served += len(records)
+            wire_records = [
+                {
+                    "offset": record.offset,
+                    "key": record.key,
+                    "value": record.value,
+                    "size": record.size,
+                    "timestamp": record.timestamp,
+                    "produced_at": record.produced_at,
+                    "headers": record.headers,
+                }
+                for record in records
+            ]
+            payload_size = sum(record.size for record in records) + 64
+            return Response(
+                payload={
+                    "error": None,
+                    "records": wire_records,
+                    "high_watermark": log.high_watermark,
+                    "log_end_offset": log.log_end_offset,
+                },
+                size=payload_size,
+            )
+
+        return fetch_process()
+
+    # -- replication path -----------------------------------------------------------------------------------
+    def _handle_epoch_end_offset(self, payload: dict) -> dict:
+        """Leader-side answer to a follower's truncation query."""
+        key = payload["partition_key"]
+        follower_epoch = payload["epoch"]
+        log = self.logs.get(key)
+        if log is None or not self._is_leader(key):
+            return {"error": "not_leader", "leader_host": self._leader_hint(key)}
+        end_offset = log.log_end_offset
+        # The end offset of the follower's epoch is the start offset of the
+        # first later epoch in the leader's log (or the leader's LEO if the
+        # follower's epoch is still the latest).
+        for epoch, start in log.epoch_boundaries:
+            if epoch > follower_epoch:
+                end_offset = start
+                break
+        return {"error": None, "end_offset": end_offset}
+
+    def _handle_replica_fetch(self, payload: dict):
+        key = payload["partition_key"]
+        follower = payload["follower"]
+        offset = payload["offset"]
+
+        def replica_fetch_process():
+            info = self._partition_info(key)
+            if info is None or not self._is_leader(key):
+                return {"error": "not_leader", "leader_host": self._leader_hint(key)}
+            log = self.logs[key]
+            replica_state = self.replica_states.setdefault(key, ReplicaState())
+            replica_state.follower_offsets[follower] = offset
+            if offset >= log.log_end_offset:
+                replica_state.follower_caught_up_at[follower] = self.sim.now
+            records = log.read(offset, max_records=self.config.replica_fetch_max_records)
+            cost = self.config.cpu_per_request + self.config.cpu_per_record * len(records)
+            yield from self.host.compute(cost)
+            self._maybe_advance_high_watermark(key)
+            yield from self._maybe_update_isr(key)
+            wire_records = [
+                {
+                    "offset": record.offset,
+                    "key": record.key,
+                    "value": record.value,
+                    "size": record.size,
+                    "timestamp": record.timestamp,
+                    "produced_at": record.produced_at,
+                    "leader_epoch": record.leader_epoch,
+                    "headers": record.headers,
+                }
+                for record in records
+            ]
+            payload_size = sum(record.size for record in records) + 64
+            return Response(
+                payload={
+                    "error": None,
+                    "records": wire_records,
+                    "high_watermark": log.high_watermark,
+                    "leader_epoch": self._local_epochs.get(key, info["leader_epoch"]),
+                },
+                size=payload_size,
+            )
+
+        return replica_fetch_process()
+
+    def _maybe_update_isr(self, key: str):
+        """Leader-side ISR maintenance, persisted through the coordinator."""
+        info = self._partition_info(key)
+        if info is None or not self._is_leader(key) or self.coordinator_host is None:
+            return
+        log = self.logs[key]
+        replica_state = self.replica_states.setdefault(key, ReplicaState())
+        now = self.sim.now
+        desired_isr = [self.name]
+        for follower in info["replicas"]:
+            if follower == self.name:
+                continue
+            fetched = replica_state.follower_offsets.get(follower)
+            caught_up_at = replica_state.follower_caught_up_at.get(follower, -1.0)
+            if fetched is None:
+                # Never fetched yet: keep it in the ISR during the grace period
+                # after this broker took leadership, evict afterwards.
+                if (now - replica_state.since) <= self.config.replica_lag_max:
+                    desired_isr.append(follower)
+                continue
+            lag_ok = (
+                fetched >= log.log_end_offset
+                or (now - caught_up_at) <= self.config.replica_lag_max
+            )
+            if lag_ok:
+                desired_isr.append(follower)
+        if set(desired_isr) == set(info["isr"]):
+            return
+        try:
+            reply = yield from self.transport.request(
+                self.coordinator_host,
+                COORDINATOR_PORT,
+                {
+                    "type": "isr_update",
+                    "partition": key,
+                    "isr": desired_isr,
+                    "leader_epoch": info["leader_epoch"],
+                },
+                timeout=1.0,
+            )
+        except RequestTimeout:
+            # ZooKeeper unreachable: the ISR change cannot be persisted, so the
+            # local view keeps the old ISR (and the HW stays put) — matching
+            # the stale-leader behaviour under a partition.
+            return
+        if reply.get("error") is None:
+            info = dict(info)
+            info["isr"] = desired_isr
+            self.metadata["partitions"][key] = info
+
+    # -- follower replication loop -----------------------------------------------------------------------------
+    def _replica_fetch_loop(self):
+        while self.running:
+            yield self.sim.timeout(self.config.replica_fetch_interval)
+            for key, info in list(self.metadata.get("partitions", {}).items()):
+                if self.name not in info["replicas"] or info["leader"] == self.name:
+                    continue
+                leader_host = self._broker_host(info["leader"]) if info["leader"] else None
+                if leader_host is None:
+                    continue
+                log = self.logs.get(key)
+                if log is None:
+                    continue
+                if self._truncation_pending.get(key):
+                    done = yield from self._reconcile_with_leader(key, leader_host)
+                    if not done:
+                        continue
+                yield from self._fetch_once_from_leader(key, leader_host, log)
+
+    def _reconcile_with_leader(self, key: str, leader_host: str):
+        """Truncate our log to match the new leader before resuming fetches."""
+        log = self.logs[key]
+        last_epoch = log.epoch_boundaries[-1][0] if log.epoch_boundaries else 0
+        try:
+            reply = yield from self.transport.request(
+                leader_host,
+                BROKER_PORT,
+                {"type": "epoch_end_offset", "partition_key": key, "epoch": last_epoch},
+                timeout=1.0,
+            )
+        except RequestTimeout:
+            return False
+        if reply.get("error") is not None:
+            return False
+        end_offset = reply["end_offset"]
+        if end_offset < log.log_end_offset:
+            discarded = log.truncate_to(end_offset)
+            acked_discarded = [r for r in discarded if r is not None]
+            self.lost_records.extend(acked_discarded)
+        self._truncation_pending[key] = False
+        return True
+
+    def _fetch_once_from_leader(self, key: str, leader_host: str, log: PartitionLog):
+        try:
+            reply = yield from self.transport.request(
+                leader_host,
+                BROKER_PORT,
+                {
+                    "type": "replica_fetch",
+                    "partition_key": key,
+                    "offset": log.log_end_offset,
+                    "follower": self.name,
+                },
+                size=96,
+                timeout=1.0,
+            )
+        except RequestTimeout:
+            return
+        if reply.get("error") is not None:
+            return
+        for wire_record in reply["records"]:
+            record = LogRecord(
+                offset=wire_record["offset"],
+                key=wire_record["key"],
+                value=wire_record["value"],
+                size=wire_record["size"],
+                timestamp=wire_record["timestamp"],
+                produced_at=wire_record["produced_at"],
+                leader_epoch=wire_record["leader_epoch"],
+                headers=wire_record.get("headers", {}),
+            )
+            if record.offset == log.log_end_offset:
+                log.append_record(record)
+        log.set_high_watermark(reply["high_watermark"])
+
+    def __repr__(self) -> str:
+        return f"<Broker {self.name} on {self.host.name} partitions={len(self.logs)}>"

@@ -1,0 +1,174 @@
+"""Cluster orchestration helper: coordinator + brokers + topics + clients.
+
+:class:`BrokerCluster` is the convenience layer the stream2gym core uses to
+stand up the event streaming platform described in a task description: it
+places the coordination service, starts one broker per requested host,
+creates the configured topics and hands out producers/consumers bound to
+specific hosts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.broker.broker import Broker, BrokerConfig
+from repro.broker.consumer import Consumer, ConsumerConfig
+from repro.broker.coordinator import CoordinationMode, Coordinator
+from repro.broker.producer import Producer, ProducerConfig
+from repro.broker.topic import TopicConfig
+from repro.network.network import Network
+
+
+@dataclass
+class ClusterConfig:
+    """Cluster-wide knobs for the event streaming platform."""
+
+    mode: CoordinationMode = CoordinationMode.ZOOKEEPER
+    session_timeout: float = 9.0
+    failure_check_interval: float = 1.0
+    preferred_election_interval: float = 30.0
+    broker: BrokerConfig = field(default_factory=BrokerConfig)
+
+    def __post_init__(self) -> None:
+        self.mode = CoordinationMode(self.mode)
+
+
+class BrokerCluster:
+    """One event streaming cluster deployed over an emulated network."""
+
+    def __init__(
+        self,
+        network: Network,
+        coordinator_host: str,
+        config: Optional[ClusterConfig] = None,
+    ) -> None:
+        self.network = network
+        self.sim = network.sim
+        self.config = config or ClusterConfig()
+        self.coordinator = Coordinator(
+            network.host(coordinator_host),
+            mode=self.config.mode,
+            session_timeout=self.config.session_timeout,
+            failure_check_interval=self.config.failure_check_interval,
+            preferred_election_interval=self.config.preferred_election_interval,
+        )
+        self.brokers: Dict[str, Broker] = {}
+        self.topics: Dict[str, TopicConfig] = {}
+        self.producers: List[Producer] = []
+        self.consumers: List[Consumer] = []
+        self._started = False
+
+    # -- construction -------------------------------------------------------------------
+    def add_broker(self, host_name: str, name: Optional[str] = None) -> Broker:
+        """Place a broker on ``host_name``."""
+        broker = Broker(
+            self.network.host(host_name),
+            name=name or f"broker-{host_name}",
+            coordinator_host=self.coordinator.host.name,
+            mode=self.config.mode,
+            config=self.config.broker,
+        )
+        self.brokers[broker.name] = broker
+        return broker
+
+    def add_topic(self, config: TopicConfig) -> None:
+        """Declare a topic; it is created on the coordinator at start()."""
+        if config.name in self.topics:
+            raise ValueError(f"topic {config.name!r} already declared")
+        self.topics[config.name] = config
+
+    def create_producer(
+        self,
+        host_name: str,
+        config: Optional[ProducerConfig] = None,
+        name: Optional[str] = None,
+    ) -> Producer:
+        producer = Producer(
+            self.network.host(host_name),
+            bootstrap=self.bootstrap_hosts(prefer=host_name),
+            config=config,
+            name=name,
+        )
+        self.producers.append(producer)
+        return producer
+
+    def create_consumer(
+        self,
+        host_name: str,
+        config: Optional[ConsumerConfig] = None,
+        name: Optional[str] = None,
+        on_record=None,
+    ) -> Consumer:
+        consumer = Consumer(
+            self.network.host(host_name),
+            bootstrap=self.bootstrap_hosts(prefer=host_name),
+            config=config,
+            name=name,
+            on_record=on_record,
+        )
+        self.consumers.append(consumer)
+        return consumer
+
+    def bootstrap_hosts(self, prefer: Optional[str] = None) -> List[str]:
+        """Broker host names usable for bootstrapping clients.
+
+        A client co-located with a broker lists its local broker first, which
+        mirrors the common Kafka deployment practice and matters during
+        partitions (the local broker remains reachable over loopback).
+        """
+        hosts = [broker.host.name for broker in self.brokers.values()]
+        if prefer in hosts:
+            hosts.remove(prefer)
+            hosts.insert(0, prefer)
+        return hosts
+
+    # -- lifecycle ----------------------------------------------------------------------
+    def start(self, settle_time: float = 5.0) -> None:
+        """Start coordinator and brokers and create topics.
+
+        ``settle_time`` schedules topic creation shortly after the brokers
+        have registered (registration itself is an asynchronous exchange).
+        """
+        if self._started:
+            return
+        self._started = True
+        self.coordinator.start()
+        for broker in self.brokers.values():
+            broker.start()
+        self.sim.schedule_callback(
+            settle_time, self._create_topics, name="cluster:create-topics"
+        )
+
+    def _create_topics(self) -> None:
+        for config in self.topics.values():
+            self.coordinator.create_topic(config)
+
+    def start_clients(self) -> None:
+        for producer in self.producers:
+            producer.start()
+        for consumer in self.consumers:
+            consumer.start()
+
+    # -- introspection --------------------------------------------------------------------
+    def broker_on(self, host_name: str) -> Optional[Broker]:
+        for broker in self.brokers.values():
+            if broker.host.name == host_name:
+                return broker
+        return None
+
+    def leader_broker(self, topic: str, partition: int = 0) -> Optional[Broker]:
+        leader_name = self.coordinator.leader_of(topic, partition)
+        return self.brokers.get(leader_name) if leader_name else None
+
+    def total_lost_records(self) -> int:
+        """Records that were acknowledged to producers but truncated away."""
+        return sum(len(broker.lost_records) for broker in self.brokers.values())
+
+    def describe(self) -> dict:
+        return {
+            "mode": self.config.mode.value,
+            "coordinator": self.coordinator.host.name,
+            "brokers": {name: broker.host.name for name, broker in self.brokers.items()},
+            "topics": list(self.topics),
+        }

@@ -1,0 +1,223 @@
+"""Consumer client.
+
+Consumers subscribe to topics, poll the partition leader for committed
+records, track their own offsets and record per-message delivery latency
+(time between the producer's send call and local receipt) — the measurement
+behind Figures 5, 6b and 6c.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.broker.broker import BROKER_PORT
+from repro.network.host import Host
+from repro.network.transport import RequestTimeout, Transport
+
+
+@dataclass
+class ConsumerConfig:
+    """Consumer tunables (YAML ``consCfg`` keys map onto these)."""
+
+    poll_interval: float = 0.05
+    max_records_per_fetch: int = 500
+    fetch_timeout: float = 1.0
+    metadata_refresh_interval: float = 5.0
+    retry_backoff: float = 0.2
+    #: Per-record processing cost charged to the consumer's host CPU.
+    cpu_per_record: float = 15e-6
+    #: Append every received record to ``Consumer.received`` (disable for
+    #: large experiments to bound memory; the ``on_record`` callback always
+    #: sees the full record either way).
+    keep_payloads: bool = True
+
+    def __post_init__(self) -> None:
+        if self.poll_interval <= 0:
+            raise ValueError("poll_interval must be positive")
+        if self.max_records_per_fetch <= 0:
+            raise ValueError("max_records_per_fetch must be positive")
+
+
+@dataclass
+class ConsumerRecord:
+    """One record as observed by a consumer."""
+
+    topic: str
+    partition: int
+    offset: int
+    key: Any
+    value: Any
+    size: int
+    timestamp: float
+    produced_at: float
+    received_at: float
+
+    @property
+    def latency(self) -> float:
+        """End-to-end delivery latency (producer send -> consumer receipt)."""
+        return self.received_at - self.produced_at
+
+
+class Consumer:
+    """A consumer client bound to an emulated host."""
+
+    def __init__(
+        self,
+        host: Host,
+        bootstrap: List[str],
+        config: Optional[ConsumerConfig] = None,
+        name: Optional[str] = None,
+        on_record: Optional[Callable[[ConsumerRecord], None]] = None,
+    ) -> None:
+        if not bootstrap:
+            raise ValueError("bootstrap list must contain at least one broker host")
+        self.host = host
+        self.sim = host.sim
+        self.name = name or f"consumer-{host.name}"
+        self.bootstrap = list(bootstrap)
+        self.config = config or ConsumerConfig()
+        self.on_record = on_record
+        self.transport = Transport(
+            host, default_timeout=self.config.fetch_timeout, max_retries=0
+        )
+        self.metadata: dict = {"version": -1, "partitions": {}, "brokers": {}}
+        self.subscriptions: List[str] = []
+        self.offsets: Dict[str, int] = {}
+        self.received: List[ConsumerRecord] = []
+        self.records_consumed = 0
+        self.bytes_consumed = 0
+        self.fetch_errors = 0
+        self.running = False
+        host.register_component(self)
+
+    # -- lifecycle -----------------------------------------------------------------
+    def subscribe(self, topics: List[str]) -> None:
+        for topic in topics:
+            if topic not in self.subscriptions:
+                self.subscriptions.append(topic)
+
+    def start(self) -> None:
+        if self.running:
+            return
+        if not self.subscriptions:
+            raise RuntimeError(f"{self.name} started without subscriptions")
+        self.running = True
+        self.sim.process(self._poll_loop(), name=f"{self.name}:poll")
+
+    def stop(self) -> None:
+        self.running = False
+
+    def seek(self, topic: str, partition: int, offset: int) -> None:
+        self.offsets[f"{topic}-{partition}"] = offset
+
+    def position(self, topic: str, partition: int = 0) -> int:
+        return self.offsets.get(f"{topic}-{partition}", 0)
+
+    # -- poll loop ------------------------------------------------------------------
+    def _poll_loop(self):
+        yield from self._refresh_metadata()
+        last_refresh = self.sim.now
+        while self.running:
+            yield self.sim.timeout(self.config.poll_interval)
+            if self.sim.now - last_refresh > self.config.metadata_refresh_interval:
+                yield from self._refresh_metadata()
+                last_refresh = self.sim.now
+            for key, info in list(self.metadata.get("partitions", {}).items()):
+                if info["topic"] not in self.subscriptions:
+                    continue
+                progressed = yield from self._fetch_partition(key, info)
+                if progressed is False:
+                    # Leader unknown or unreachable: back off a little and
+                    # refresh metadata so we discover newly elected leaders.
+                    yield self.sim.timeout(self.config.retry_backoff)
+                    yield from self._refresh_metadata()
+                    last_refresh = self.sim.now
+
+    def _fetch_partition(self, key: str, info: dict):
+        leader = info.get("leader")
+        broker_entry = self.metadata.get("brokers", {}).get(leader) if leader else None
+        if broker_entry is None:
+            return False
+        leader_host = broker_entry["host"]
+        offset = self.offsets.get(key, 0)
+        try:
+            reply = yield from self.transport.request(
+                leader_host,
+                BROKER_PORT,
+                {
+                    "type": "fetch",
+                    "topic": info["topic"],
+                    "partition": info["partition"],
+                    "offset": offset,
+                    "max_records": self.config.max_records_per_fetch,
+                },
+                size=96,
+                timeout=self.config.fetch_timeout,
+            )
+        except RequestTimeout:
+            self.fetch_errors += 1
+            return False
+        if reply.get("error") is not None:
+            self.fetch_errors += 1
+            return False
+        records = reply.get("records", [])
+        if not records:
+            return True
+        cost = self.config.cpu_per_record * len(records)
+        if cost > 0:
+            yield from self.host.compute(cost)
+        for wire_record in records:
+            consumer_record = ConsumerRecord(
+                topic=info["topic"],
+                partition=info["partition"],
+                offset=wire_record["offset"],
+                key=wire_record["key"],
+                value=wire_record["value"],
+                size=wire_record["size"],
+                timestamp=wire_record["timestamp"],
+                produced_at=wire_record["produced_at"],
+                received_at=self.sim.now,
+            )
+            self.records_consumed += 1
+            self.bytes_consumed += consumer_record.size
+            if self.config.keep_payloads:
+                self.received.append(consumer_record)
+            if self.on_record is not None:
+                self.on_record(consumer_record)
+            self.offsets[key] = wire_record["offset"] + 1
+        return True
+
+    # -- metadata -----------------------------------------------------------------------
+    def _refresh_metadata(self):
+        for bootstrap_host in self.bootstrap:
+            try:
+                reply = yield from self.transport.request(
+                    bootstrap_host,
+                    BROKER_PORT,
+                    {"type": "metadata"},
+                    size=32,
+                    timeout=1.0,
+                )
+            except RequestTimeout:
+                continue
+            metadata = reply.get("metadata")
+            if metadata and metadata.get("version", -1) >= self.metadata.get("version", -1):
+                self.metadata = metadata
+            return
+        return
+
+    # -- experiment helpers -----------------------------------------------------------------
+    def latencies(self, topic: Optional[str] = None) -> List[float]:
+        return [
+            record.latency
+            for record in self.received
+            if topic is None or record.topic == topic
+        ]
+
+    def received_keys(self, topic: Optional[str] = None) -> List[Any]:
+        return [
+            record.key
+            for record in self.received
+            if topic is None or record.topic == topic
+        ]

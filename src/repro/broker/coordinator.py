@@ -1,0 +1,331 @@
+"""Cluster coordination service (ZooKeeper / KRaft controller substitute).
+
+The coordinator is the authority on cluster metadata: which brokers are
+alive, how partitions are assigned to replicas, who currently leads each
+partition and with which epoch, and which replicas are in sync.  Brokers
+register with it, heartbeat against it, and pull metadata when the version
+changes; it detects broker failures via session timeouts and performs leader
+elections, and periodically restores leadership to preferred replicas.
+
+Two coordination modes are supported (``CoordinationMode``):
+
+* ``zookeeper`` — the produce path on brokers never consults the coordinator,
+  so a partitioned leader keeps accepting acks<=1 writes that are later
+  truncated away when it rejoins (the silent-loss behaviour of [36] that
+  Figure 6b shows);
+* ``kraft`` — leaders require a fresh coordinator session to acknowledge
+  writes, so a partitioned leader quickly stops accepting records and
+  producers retry against the new leader instead (no silent loss).
+
+The mode itself is enforced in :mod:`repro.broker.broker`; the coordinator's
+protocol is identical in both modes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.network.host import Host
+from repro.network.transport import Request, Transport
+from repro.broker.topic import PartitionState, TopicConfig
+
+COORDINATOR_PORT = 2181
+
+
+class CoordinationMode(str, enum.Enum):
+    """How cluster metadata is coordinated."""
+
+    ZOOKEEPER = "zookeeper"
+    KRAFT = "kraft"
+
+
+@dataclass
+class BrokerRegistration:
+    """Liveness record for one registered broker."""
+
+    name: str
+    host: str
+    last_heartbeat: float
+    alive: bool = True
+
+
+@dataclass
+class ElectionRecord:
+    """History entry for tests and the event log."""
+
+    time: float
+    partition: str
+    new_leader: Optional[str]
+    old_leader: Optional[str]
+    epoch: int
+    reason: str
+
+
+class Coordinator:
+    """The metadata/coordination service, bound to one host."""
+
+    def __init__(
+        self,
+        host: Host,
+        mode: CoordinationMode = CoordinationMode.ZOOKEEPER,
+        session_timeout: float = 9.0,
+        failure_check_interval: float = 1.0,
+        preferred_election_interval: float = 30.0,
+    ) -> None:
+        if session_timeout <= 0:
+            raise ValueError("session_timeout must be positive")
+        self.host = host
+        self.sim = host.sim
+        self.mode = CoordinationMode(mode)
+        self.session_timeout = session_timeout
+        self.failure_check_interval = failure_check_interval
+        self.preferred_election_interval = preferred_election_interval
+        self.transport = Transport(host)
+        self.brokers: Dict[str, BrokerRegistration] = {}
+        self.partitions: Dict[str, PartitionState] = {}
+        self.topics: Dict[str, TopicConfig] = {}
+        self.metadata_version = 0
+        self.elections: List[ElectionRecord] = []
+        self.event_log: List[dict] = []
+        self._started = False
+        self.transport.register(COORDINATOR_PORT, self._handle)
+        host.register_component(self)
+
+    # -- lifecycle -------------------------------------------------------------------
+    def start(self) -> None:
+        """Start the failure detector and preferred-leader election loops."""
+        if self._started:
+            return
+        self._started = True
+        self.sim.process(self._failure_detector(), name="coordinator:failure-detector")
+        self.sim.process(
+            self._preferred_election_loop(), name="coordinator:preferred-election"
+        )
+
+    @property
+    def name(self) -> str:
+        return f"coordinator@{self.host.name}"
+
+    # -- request handling -------------------------------------------------------------
+    def _handle(self, request: Request):
+        payload = request.payload or {}
+        request_type = payload.get("type")
+        if request_type == "register":
+            return self._handle_register(payload)
+        if request_type == "heartbeat":
+            return self._handle_heartbeat(payload)
+        if request_type == "metadata":
+            return self.metadata_snapshot()
+        if request_type == "create_topic":
+            return self._handle_create_topic(payload)
+        if request_type == "isr_update":
+            return self._handle_isr_update(payload)
+        return {"error": f"unknown request type {request_type!r}"}
+
+    def _handle_register(self, payload: dict) -> dict:
+        name = payload["broker"]
+        host = payload["host"]
+        self.brokers[name] = BrokerRegistration(
+            name=name, host=host, last_heartbeat=self.sim.now, alive=True
+        )
+        self._log("broker-registered", broker=name, host=host)
+        self._bump()
+        return {"version": self.metadata_version}
+
+    def _handle_heartbeat(self, payload: dict) -> dict:
+        name = payload["broker"]
+        registration = self.brokers.get(name)
+        if registration is None:
+            return {"error": "unknown broker", "version": self.metadata_version}
+        registration.last_heartbeat = self.sim.now
+        if not registration.alive:
+            registration.alive = True
+            self._log("broker-rejoined", broker=name)
+            self._bump()
+        return {"version": self.metadata_version, "session_timeout": self.session_timeout}
+
+    def _handle_create_topic(self, payload: dict) -> dict:
+        config = TopicConfig(**payload["config"])
+        self.create_topic(config)
+        return {"version": self.metadata_version}
+
+    def _handle_isr_update(self, payload: dict) -> dict:
+        key = payload["partition"]
+        state = self.partitions.get(key)
+        if state is None:
+            return {"error": "unknown partition"}
+        if payload.get("leader_epoch") != state.leader_epoch:
+            return {"error": "stale_epoch", "leader_epoch": state.leader_epoch}
+        new_isr = [b for b in payload["isr"] if b in state.replicas]
+        if new_isr and set(new_isr) != set(state.isr):
+            state.isr = new_isr
+            self._log("isr-changed", partition=key, isr=list(new_isr))
+            self._bump()
+        return {"version": self.metadata_version}
+
+    # -- topic management --------------------------------------------------------------
+    def create_topic(self, config: TopicConfig) -> List[PartitionState]:
+        """Create a topic: assign replicas over live brokers and pick leaders."""
+        if config.name in self.topics:
+            raise ValueError(f"topic {config.name!r} already exists")
+        live = [name for name, reg in self.brokers.items() if reg.alive]
+        if len(live) < config.replication_factor:
+            raise ValueError(
+                f"not enough live brokers ({len(live)}) for replication factor "
+                f"{config.replication_factor}"
+            )
+        self.topics[config.name] = config
+        states = []
+        ordered = sorted(live)
+        if config.preferred_leader:
+            if config.preferred_leader not in ordered:
+                raise ValueError(
+                    f"preferred leader {config.preferred_leader!r} is not a live broker"
+                )
+            ordered.remove(config.preferred_leader)
+            ordered.insert(0, config.preferred_leader)
+        for partition in range(config.partitions):
+            # Rotate the assignment per partition so load spreads, keeping the
+            # user-pinned preferred leader for partition 0.
+            rotation = ordered[partition % len(ordered):] + ordered[:partition % len(ordered)]
+            replicas = rotation[: config.replication_factor]
+            state = PartitionState(
+                topic=config.name,
+                partition=partition,
+                replicas=replicas,
+            )
+            self.partitions[state.key] = state
+            states.append(state)
+            self._log(
+                "partition-created",
+                partition=state.key,
+                replicas=list(replicas),
+                leader=state.leader,
+            )
+        self._bump()
+        return states
+
+    # -- metadata ---------------------------------------------------------------------
+    def metadata_snapshot(self) -> dict:
+        """Serializable copy of the full cluster metadata."""
+        return {
+            "version": self.metadata_version,
+            "brokers": {
+                name: {"host": reg.host, "alive": reg.alive}
+                for name, reg in self.brokers.items()
+            },
+            "partitions": {
+                key: {
+                    "topic": state.topic,
+                    "partition": state.partition,
+                    "replicas": list(state.replicas),
+                    "leader": state.leader,
+                    "leader_epoch": state.leader_epoch,
+                    "isr": list(state.isr),
+                }
+                for key, state in self.partitions.items()
+            },
+        }
+
+    def _bump(self) -> None:
+        self.metadata_version += 1
+
+    def _log(self, event: str, **details) -> None:
+        self.event_log.append({"time": self.sim.now, "event": event, **details})
+
+    # -- failure detection and elections ------------------------------------------------
+    def _failure_detector(self):
+        while True:
+            yield self.sim.timeout(self.failure_check_interval)
+            now = self.sim.now
+            for registration in self.brokers.values():
+                if registration.alive and now - registration.last_heartbeat > self.session_timeout:
+                    registration.alive = False
+                    self._log("broker-session-expired", broker=registration.name)
+                    self._handle_broker_failure(registration.name)
+
+    def _handle_broker_failure(self, broker: str) -> None:
+        changed = False
+        for state in self.partitions.values():
+            if state.leader == broker:
+                self._elect_leader(state, exclude=broker, reason="leader-failure")
+                changed = True
+            if broker in state.isr and len(state.isr) > 1:
+                state.shrink_isr(broker)
+                changed = True
+        if changed:
+            self._bump()
+
+    def _elect_leader(
+        self, state: PartitionState, exclude: Optional[str], reason: str
+    ) -> None:
+        old_leader = state.leader
+        candidates = [
+            replica
+            for replica in state.replicas
+            if replica != exclude
+            and replica in state.isr
+            and self.brokers.get(replica)
+            and self.brokers[replica].alive
+        ]
+        new_leader = candidates[0] if candidates else None
+        state.leader = new_leader
+        state.leader_epoch += 1
+        if exclude is not None:
+            state.shrink_isr(exclude)
+        self.elections.append(
+            ElectionRecord(
+                time=self.sim.now,
+                partition=state.key,
+                new_leader=new_leader,
+                old_leader=old_leader,
+                epoch=state.leader_epoch,
+                reason=reason,
+            )
+        )
+        self._log(
+            "leader-elected",
+            partition=state.key,
+            leader=new_leader,
+            old_leader=old_leader,
+            epoch=state.leader_epoch,
+            reason=reason,
+        )
+
+    def _preferred_election_loop(self):
+        while True:
+            yield self.sim.timeout(self.preferred_election_interval)
+            self.run_preferred_replica_election()
+
+    def run_preferred_replica_election(self) -> int:
+        """Re-elect preferred leaders where possible; returns how many changed."""
+        changed = 0
+        for state in self.partitions.values():
+            preferred = state.preferred_leader
+            if state.leader == preferred:
+                continue
+            registration = self.brokers.get(preferred)
+            if registration is None or not registration.alive:
+                continue
+            if preferred not in state.isr:
+                continue
+            self._elect_leader(state, exclude=None, reason="preferred-replica-election")
+            # _elect_leader picks the first eligible replica in assignment
+            # order, which is the preferred replica by construction.
+            changed += 1
+        if changed:
+            self._bump()
+        return changed
+
+    # -- introspection helpers (tests / experiments) -------------------------------------
+    def leader_of(self, topic: str, partition: int = 0) -> Optional[str]:
+        state = self.partitions.get(f"{topic}-{partition}")
+        return state.leader if state else None
+
+    def partition_state(self, topic: str, partition: int = 0) -> Optional[PartitionState]:
+        return self.partitions.get(f"{topic}-{partition}")
+
+    def alive_brokers(self) -> List[str]:
+        return [name for name, reg in self.brokers.items() if reg.alive]

@@ -1,0 +1,181 @@
+"""Append-only partition logs.
+
+Each partition replica is backed by a :class:`PartitionLog`: an append-only
+sequence of records with a *log end offset* (next offset to be written) and a
+*high watermark* (highest offset known to be replicated to the in-sync
+replica set; only records below it are visible to consumers).  Leader
+failover and follower rejoin are implemented with epoch bookkeeping and
+truncation, which is where the ZooKeeper-mode silent message loss comes from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+@dataclass
+class LogRecord:
+    """One record as stored in a partition log."""
+
+    offset: int
+    key: Any
+    value: Any
+    size: int
+    timestamp: float
+    produced_at: float
+    leader_epoch: int
+    headers: Dict[str, Any] = field(default_factory=dict)
+
+
+class PartitionLog:
+    """An append-only log for one replica of one partition."""
+
+    def __init__(self, topic: str, partition: int = 0) -> None:
+        self.topic = topic
+        self.partition = partition
+        self._records: List[LogRecord] = []
+        self._base_offset = 0
+        self.high_watermark = 0
+        #: (epoch, start_offset) pairs, newest last — Kafka's leader epoch cache.
+        self.epoch_boundaries: List[Tuple[int, int]] = []
+        self.truncated_records = 0
+
+    # -- basic accessors ------------------------------------------------------------
+    @property
+    def log_end_offset(self) -> int:
+        """The offset that the *next* appended record will receive."""
+        return self._base_offset + len(self._records)
+
+    @property
+    def log_start_offset(self) -> int:
+        return self._base_offset
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(record.size for record in self._records)
+
+    # -- writes -----------------------------------------------------------------------
+    def append(
+        self,
+        key: Any,
+        value: Any,
+        size: int,
+        timestamp: float,
+        produced_at: float,
+        leader_epoch: int,
+        headers: Optional[Dict[str, Any]] = None,
+    ) -> LogRecord:
+        """Append one record and return it (offset assigned here)."""
+        if self.epoch_boundaries and leader_epoch < self.epoch_boundaries[-1][0]:
+            raise ValueError(
+                f"appending with stale epoch {leader_epoch} < "
+                f"{self.epoch_boundaries[-1][0]}"
+            )
+        if not self.epoch_boundaries or self.epoch_boundaries[-1][0] != leader_epoch:
+            self.epoch_boundaries.append((leader_epoch, self.log_end_offset))
+        record = LogRecord(
+            offset=self.log_end_offset,
+            key=key,
+            value=value,
+            size=size,
+            timestamp=timestamp,
+            produced_at=produced_at,
+            leader_epoch=leader_epoch,
+            headers=dict(headers or {}),
+        )
+        self._records.append(record)
+        return record
+
+    def append_record(self, record: LogRecord) -> None:
+        """Append a record copied from a leader (replication path)."""
+        if record.offset != self.log_end_offset:
+            raise ValueError(
+                f"non-contiguous append: expected offset {self.log_end_offset}, "
+                f"got {record.offset}"
+            )
+        if not self.epoch_boundaries or self.epoch_boundaries[-1][0] != record.leader_epoch:
+            self.epoch_boundaries.append((record.leader_epoch, record.offset))
+        self._records.append(record)
+
+    # -- reads -------------------------------------------------------------------------
+    def read(
+        self,
+        from_offset: int,
+        max_records: Optional[int] = None,
+        up_to: Optional[int] = None,
+    ) -> List[LogRecord]:
+        """Read records starting at ``from_offset`` (bounded by ``up_to`` exclusive)."""
+        if from_offset < self._base_offset:
+            from_offset = self._base_offset
+        start_index = from_offset - self._base_offset
+        if start_index >= len(self._records):
+            return []
+        end_index = len(self._records)
+        if up_to is not None:
+            end_index = min(end_index, max(0, up_to - self._base_offset))
+        records = self._records[start_index:end_index]
+        if max_records is not None:
+            records = records[:max_records]
+        return records
+
+    def committed_read(
+        self, from_offset: int, max_records: Optional[int] = None
+    ) -> List[LogRecord]:
+        """Read only records below the high watermark (consumer visibility rule)."""
+        return self.read(from_offset, max_records=max_records, up_to=self.high_watermark)
+
+    def record_at(self, offset: int) -> Optional[LogRecord]:
+        index = offset - self._base_offset
+        if 0 <= index < len(self._records):
+            return self._records[index]
+        return None
+
+    def all_records(self) -> List[LogRecord]:
+        return list(self._records)
+
+    # -- watermark / truncation ------------------------------------------------------------
+    def advance_high_watermark(self, offset: int) -> None:
+        """Move the high watermark forward (never backwards) up to the log end."""
+        self.high_watermark = max(self.high_watermark, min(offset, self.log_end_offset))
+
+    def set_high_watermark(self, offset: int) -> None:
+        """Force the high watermark (used by followers applying the leader's value)."""
+        self.high_watermark = min(offset, self.log_end_offset)
+
+    def truncate_to(self, offset: int) -> List[LogRecord]:
+        """Discard every record at or beyond ``offset``.
+
+        Returns the discarded records.  This is the mechanism behind the
+        silent message loss observed with ZooKeeper-based Kafka: a stale
+        leader that accepted writes during a partition truncates them away
+        when it rejoins and follows the new leader.
+        """
+        if offset >= self.log_end_offset:
+            return []
+        keep = max(0, offset - self._base_offset)
+        discarded = self._records[keep:]
+        self._records = self._records[:keep]
+        self.truncated_records += len(discarded)
+        self.high_watermark = min(self.high_watermark, self.log_end_offset)
+        self.epoch_boundaries = [
+            (epoch, start) for epoch, start in self.epoch_boundaries
+            if start < self.log_end_offset
+        ]
+        return discarded
+
+    def epoch_start_offset(self, epoch: int) -> Optional[int]:
+        """First offset written under ``epoch`` (None if the epoch never led here)."""
+        for known_epoch, start in self.epoch_boundaries:
+            if known_epoch == epoch:
+                return start
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"<PartitionLog {self.topic}-{self.partition} "
+            f"leo={self.log_end_offset} hw={self.high_watermark}>"
+        )

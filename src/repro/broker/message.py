@@ -1,0 +1,68 @@
+"""Record types exchanged between clients and brokers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.network.packet import estimate_size
+
+
+@dataclass
+class ProducerRecord:
+    """A record handed to :class:`~repro.broker.producer.Producer.send`.
+
+    Mirrors Kafka's ``ProducerRecord``: a topic, an optional key (used for
+    partitioning), a value, and optional headers.
+    """
+
+    topic: str
+    value: Any
+    key: Optional[Any] = None
+    partition: Optional[int] = None
+    headers: Dict[str, Any] = field(default_factory=dict)
+    size: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.size is None:
+            self.size = estimate_size(self.value) + estimate_size(self.key, floor=0)
+        if self.size < 0:
+            raise ValueError("record size must be non-negative")
+
+    def partition_for(self, n_partitions: int, fallback: int = 0) -> int:
+        """Choose the partition: explicit, key-hash, or round-robin fallback."""
+        if self.partition is not None:
+            if not 0 <= self.partition < n_partitions:
+                raise ValueError(
+                    f"partition {self.partition} out of range [0, {n_partitions})"
+                )
+            return self.partition
+        if self.key is not None:
+            return _stable_hash(self.key) % n_partitions
+        return fallback % n_partitions
+
+
+@dataclass(frozen=True)
+class RecordMetadata:
+    """Returned to producers when a record is acknowledged."""
+
+    topic: str
+    partition: int
+    offset: int
+    timestamp: float
+    produced_at: float
+
+    @property
+    def commit_latency(self) -> float:
+        """Time between the application's send() call and the acknowledgement."""
+        return self.timestamp - self.produced_at
+
+
+def _stable_hash(value: Any) -> int:
+    """Deterministic (process-independent) hash used for key partitioning."""
+    data = repr(value).encode("utf-8")
+    accumulator = 2166136261
+    for byte in data:
+        accumulator ^= byte
+        accumulator = (accumulator * 16777619) & 0xFFFFFFFF
+    return accumulator

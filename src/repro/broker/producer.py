@@ -1,0 +1,366 @@
+"""Producer client.
+
+Implements the Kafka producer behaviours the paper's experiments depend on:
+
+* ``buffer.memory`` — records wait in a bounded accumulator (Figure 9c shows
+  its effect on the emulation's memory footprint);
+* batching with a ``linger`` interval;
+* ``request.timeout`` and retries — a producer cut off from the leader keeps
+  re-sending records until they are either accepted or the delivery timeout
+  expires (the latency inflation of Figure 6c);
+* ``acks`` (0, 1 or "all");
+* metadata refresh on ``not_leader`` errors so producers find newly elected
+  leaders after a failure.
+
+Records are tracked end to end: every send returns a future that fires with
+:class:`RecordMetadata` on acknowledgement or fails with
+:class:`DeliveryFailed`, and the producer keeps per-record accounting that the
+delivery-matrix experiment (Figure 6b) reads back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.broker.broker import BROKER_PORT
+from repro.broker.errors import DeliveryFailed
+from repro.broker.message import ProducerRecord, RecordMetadata
+from repro.network.host import Host
+from repro.network.transport import RequestTimeout, Transport
+from repro.simulation.events import Event
+
+
+@dataclass
+class ProducerConfig:
+    """Producer tunables (YAML ``prodCfg`` keys map onto these)."""
+
+    buffer_memory: int = 32 * 1024 * 1024
+    batch_size: int = 16 * 1024
+    linger: float = 0.02
+    request_timeout: float = 2.0
+    delivery_timeout: float = 120.0
+    retries: int = 1_000_000
+    retry_backoff: float = 0.1
+    acks: Any = 1
+    metadata_refresh_interval: float = 5.0
+    max_batch_records: int = 500
+
+    def __post_init__(self) -> None:
+        if self.buffer_memory <= 0:
+            raise ValueError("buffer_memory must be positive")
+        if self.request_timeout <= 0:
+            raise ValueError("request_timeout must be positive")
+        if self.delivery_timeout <= 0:
+            raise ValueError("delivery_timeout must be positive")
+        if self.acks not in (0, 1, "all"):
+            raise ValueError("acks must be 0, 1 or 'all'")
+
+
+@dataclass
+class PendingRecord:
+    """A record sitting in the accumulator awaiting acknowledgement."""
+
+    record: ProducerRecord
+    partition: int
+    future: Event
+    enqueued_at: float
+    sequence: int
+
+
+@dataclass
+class DeliveryReport:
+    """Final outcome of one record (kept for experiment post-processing)."""
+
+    sequence: int
+    topic: str
+    key: Any
+    enqueued_at: float
+    acknowledged_at: Optional[float] = None
+    failed_at: Optional[float] = None
+    offset: Optional[int] = None
+
+    @property
+    def acknowledged(self) -> bool:
+        return self.acknowledged_at is not None
+
+
+class Producer:
+    """A producer client bound to an emulated host."""
+
+    def __init__(
+        self,
+        host: Host,
+        bootstrap: List[str],
+        config: Optional[ProducerConfig] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        if not bootstrap:
+            raise ValueError("bootstrap list must contain at least one broker host")
+        self.host = host
+        self.sim = host.sim
+        self.name = name or f"producer-{host.name}"
+        self.bootstrap = list(bootstrap)
+        self.config = config or ProducerConfig()
+        self.transport = Transport(
+            host, default_timeout=self.config.request_timeout, max_retries=0
+        )
+        self.metadata: dict = {"version": -1, "partitions": {}, "brokers": {}}
+        self._accumulator: Dict[str, List[PendingRecord]] = {}
+        self._in_flight: set = set()
+        self._waiting_for_buffer: List[PendingRecord] = []
+        self._buffer_used = 0
+        self._sequence = 0
+        self.running = False
+        self.records_sent = 0
+        self.records_acked = 0
+        self.records_failed = 0
+        self.reports: List[DeliveryReport] = []
+        self._reports_by_sequence: Dict[int, DeliveryReport] = {}
+        host.register_component(self)
+
+    # -- lifecycle -------------------------------------------------------------------
+    def start(self) -> None:
+        if self.running:
+            return
+        self.running = True
+        self.sim.process(self._sender_loop(), name=f"{self.name}:sender")
+
+    def stop(self) -> None:
+        self.running = False
+
+    @property
+    def buffer_used(self) -> int:
+        """Bytes of ``buffer.memory`` currently occupied by unacknowledged records."""
+        return self._buffer_used
+
+    @property
+    def buffer_available(self) -> int:
+        return self.config.buffer_memory - self._buffer_used
+
+    # -- public API ------------------------------------------------------------------
+    def send(self, record: ProducerRecord) -> Event:
+        """Queue a record for delivery; returns a future firing with RecordMetadata."""
+        future = self.sim.event()
+        n_partitions = self._partition_count(record.topic)
+        partition = record.partition_for(n_partitions, fallback=self._sequence)
+        pending = PendingRecord(
+            record=record,
+            partition=partition,
+            future=future,
+            enqueued_at=self.sim.now,
+            sequence=self._sequence,
+        )
+        report = DeliveryReport(
+            sequence=self._sequence,
+            topic=record.topic,
+            key=record.key,
+            enqueued_at=self.sim.now,
+        )
+        self.reports.append(report)
+        self._reports_by_sequence[pending.sequence] = report
+        self._sequence += 1
+        self.records_sent += 1
+        if self._buffer_used + record.size <= self.config.buffer_memory:
+            self._buffer_used += record.size
+            self._enqueue(pending)
+        else:
+            # Buffer full: the record waits outside the accumulator until
+            # acknowledgements free space (blocking-producer semantics).
+            self._waiting_for_buffer.append(pending)
+        return future
+
+    def flush_pending(self) -> int:
+        """Number of records not yet acknowledged or failed."""
+        queued = sum(len(batch) for batch in self._accumulator.values())
+        return queued + len(self._waiting_for_buffer)
+
+    def _enqueue(self, pending: PendingRecord) -> None:
+        key = f"{pending.record.topic}-{pending.partition}"
+        self._accumulator.setdefault(key, []).append(pending)
+
+    def _partition_count(self, topic: str) -> int:
+        count = 0
+        for info in self.metadata.get("partitions", {}).values():
+            if info["topic"] == topic:
+                count = max(count, info["partition"] + 1)
+        return count or 1
+
+    # -- sender machinery -----------------------------------------------------------------
+    def _sender_loop(self):
+        yield from self._refresh_metadata()
+        last_metadata_refresh = self.sim.now
+        while self.running:
+            yield self.sim.timeout(self.config.linger)
+            if self.sim.now - last_metadata_refresh > self.config.metadata_refresh_interval:
+                yield from self._refresh_metadata()
+                last_metadata_refresh = self.sim.now
+            self._admit_waiting_records()
+            for key in list(self._accumulator.keys()):
+                # One in-flight batch per partition: a partition whose leader
+                # is unreachable must not block the other partitions' traffic
+                # (the disconnected producer in Figure 6 keeps feeding its
+                # local topic while retrying the remote one).
+                if key in self._in_flight:
+                    continue
+                batch = self._drain_batch(key)
+                if not batch:
+                    continue
+                self._in_flight.add(key)
+                self.sim.process(
+                    self._send_batch_guarded(key, batch), name=f"{self.name}:send:{key}"
+                )
+
+    def _send_batch_guarded(self, key: str, batch: List[PendingRecord]):
+        try:
+            yield from self._send_batch(key, batch)
+        finally:
+            self._in_flight.discard(key)
+
+    def _admit_waiting_records(self) -> None:
+        admitted = []
+        for pending in self._waiting_for_buffer:
+            if self._buffer_used + pending.record.size <= self.config.buffer_memory:
+                self._buffer_used += pending.record.size
+                self._enqueue(pending)
+                admitted.append(pending)
+        for pending in admitted:
+            self._waiting_for_buffer.remove(pending)
+
+    def _drain_batch(self, key: str) -> List[PendingRecord]:
+        queue = self._accumulator.get(key, [])
+        if not queue:
+            return []
+        batch: List[PendingRecord] = []
+        size = 0
+        while queue and len(batch) < self.config.max_batch_records:
+            candidate = queue[0]
+            if batch and size + candidate.record.size > self.config.batch_size:
+                break
+            batch.append(queue.pop(0))
+            size += candidate.record.size
+        return batch
+
+    def _send_batch(self, key: str, batch: List[PendingRecord]):
+        topic = batch[0].record.topic
+        partition = batch[0].partition
+        deadline = min(p.enqueued_at for p in batch) + self.config.delivery_timeout
+        attempts = 0
+        while self.running:
+            if self.sim.now >= deadline or attempts > self.config.retries:
+                self._fail_batch(batch, reason="delivery timeout")
+                return
+            leader_host = self._leader_host(key)
+            if leader_host is None:
+                yield self.sim.timeout(self.config.retry_backoff)
+                yield from self._refresh_metadata()
+                attempts += 1
+                continue
+            wire_records = [
+                {
+                    "key": p.record.key,
+                    "value": p.record.value,
+                    "size": p.record.size,
+                    "produced_at": p.enqueued_at,
+                    "headers": p.record.headers,
+                }
+                for p in batch
+            ]
+            request_size = sum(p.record.size for p in batch) + 96
+            try:
+                reply = yield from self.transport.request(
+                    leader_host,
+                    BROKER_PORT,
+                    {
+                        "type": "produce",
+                        "topic": topic,
+                        "partition": partition,
+                        "records": wire_records,
+                        "acks": self.config.acks,
+                    },
+                    size=request_size,
+                    timeout=self.config.request_timeout,
+                )
+            except RequestTimeout:
+                attempts += 1
+                yield self.sim.timeout(self.config.retry_backoff)
+                continue
+            error = reply.get("error")
+            if error is None:
+                self._ack_batch(batch, reply.get("base_offset", 0), topic, partition)
+                return
+            if error == "not_leader":
+                attempts += 1
+                yield self.sim.timeout(self.config.retry_backoff)
+                yield from self._refresh_metadata()
+                continue
+            if error in ("not_enough_replicas", "unknown_topic"):
+                attempts += 1
+                yield self.sim.timeout(max(self.config.retry_backoff, 0.5))
+                yield from self._refresh_metadata()
+                continue
+            self._fail_batch(batch, reason=error)
+            return
+
+    def _ack_batch(
+        self, batch: List[PendingRecord], base_offset: int, topic: str, partition: int
+    ) -> None:
+        for index, pending in enumerate(batch):
+            metadata = RecordMetadata(
+                topic=topic,
+                partition=partition,
+                offset=base_offset + index,
+                timestamp=self.sim.now,
+                produced_at=pending.enqueued_at,
+            )
+            self._buffer_used -= pending.record.size
+            self.records_acked += 1
+            report = self._reports_by_sequence[pending.sequence]
+            report.acknowledged_at = self.sim.now
+            report.offset = metadata.offset
+            if not pending.future.triggered:
+                pending.future.succeed(metadata)
+
+    def _fail_batch(self, batch: List[PendingRecord], reason: str) -> None:
+        for pending in batch:
+            self._buffer_used -= pending.record.size
+            self.records_failed += 1
+            report = self._reports_by_sequence[pending.sequence]
+            report.failed_at = self.sim.now
+            if not pending.future.triggered:
+                failure = pending.future
+                failure._defused = True  # experiment code may ignore the future
+                failure.fail(DeliveryFailed(reason))
+
+    # -- metadata ---------------------------------------------------------------------------
+    def _leader_host(self, key: str) -> Optional[str]:
+        info = self.metadata.get("partitions", {}).get(key)
+        if not info or not info.get("leader"):
+            return None
+        broker_entry = self.metadata.get("brokers", {}).get(info["leader"])
+        return broker_entry["host"] if broker_entry else None
+
+    def _refresh_metadata(self):
+        for bootstrap_host in self.bootstrap:
+            try:
+                reply = yield from self.transport.request(
+                    bootstrap_host,
+                    BROKER_PORT,
+                    {"type": "metadata"},
+                    size=32,
+                    timeout=min(1.0, self.config.request_timeout),
+                )
+            except RequestTimeout:
+                continue
+            metadata = reply.get("metadata")
+            if metadata and metadata.get("version", -1) >= self.metadata.get("version", -1):
+                self.metadata = metadata
+            return
+        return
+
+    # -- experiment helpers -----------------------------------------------------------------
+    def acked_sequences(self) -> List[int]:
+        return [report.sequence for report in self.reports if report.acknowledged]
+
+    def failed_sequences(self) -> List[int]:
+        return [report.sequence for report in self.reports if report.failed_at is not None]

@@ -1,0 +1,96 @@
+"""Topic configuration and partition state metadata."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class TopicConfig:
+    """Static configuration of one topic (from the ``topicCfg`` graph attribute).
+
+    Attributes
+    ----------
+    name:
+        Topic name.
+    partitions:
+        Number of partitions (the paper's scenarios use 1 per topic).
+    replication_factor:
+        Number of replicas per partition.
+    preferred_leader:
+        Broker name that should lead partition 0 (stream2gym lets users pin a
+        "primary broker" per topic); remaining replicas are assigned by the
+        cluster.
+    """
+
+    name: str
+    partitions: int = 1
+    replication_factor: int = 1
+    preferred_leader: Optional[str] = None
+    retention_bytes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("topic name must be non-empty")
+        if self.partitions <= 0:
+            raise ValueError("partitions must be positive")
+        if self.replication_factor <= 0:
+            raise ValueError("replication_factor must be positive")
+
+
+@dataclass
+class PartitionState:
+    """Dynamic, cluster-wide view of one topic-partition.
+
+    This is the metadata the controller maintains and distributes: the replica
+    assignment (first entry = preferred leader), the current leader, the
+    leader epoch, and the in-sync replica set.
+    """
+
+    topic: str
+    partition: int
+    replicas: List[str]
+    leader: Optional[str] = None
+    leader_epoch: int = 0
+    isr: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.replicas:
+            raise ValueError("a partition needs at least one replica")
+        if not self.isr:
+            self.isr = list(self.replicas)
+        if self.leader is None:
+            self.leader = self.replicas[0]
+
+    @property
+    def key(self) -> str:
+        return f"{self.topic}-{self.partition}"
+
+    @property
+    def preferred_leader(self) -> str:
+        return self.replicas[0]
+
+    def copy(self) -> "PartitionState":
+        return PartitionState(
+            topic=self.topic,
+            partition=self.partition,
+            replicas=list(self.replicas),
+            leader=self.leader,
+            leader_epoch=self.leader_epoch,
+            isr=list(self.isr),
+        )
+
+    def shrink_isr(self, broker: str) -> None:
+        if broker in self.isr and len(self.isr) > 1:
+            self.isr.remove(broker)
+
+    def expand_isr(self, broker: str) -> None:
+        if broker in self.replicas and broker not in self.isr:
+            self.isr.append(broker)
+
+    def __repr__(self) -> str:
+        return (
+            f"<PartitionState {self.key} leader={self.leader} epoch={self.leader_epoch} "
+            f"isr={self.isr}>"
+        )

@@ -1,0 +1,161 @@
+"""The stream2gym modeling-language attributes (Table I of the paper).
+
+The task description is a graph whose nodes and links carry these attributes.
+Every attribute can either hold an inline value or point to a YAML
+configuration file; :mod:`repro.core.graphml` resolves file references, and
+:mod:`repro.core.components` interprets the values when deploying components.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List
+
+
+class GraphAttribute(str, enum.Enum):
+    """Graph-level attributes."""
+
+    TOPIC_CFG = "topicCfg"
+    FAULT_CFG = "faultCfg"
+
+
+class NodeAttribute(str, enum.Enum):
+    """Node-level attributes."""
+
+    PROD_TYPE = "prodType"
+    PROD_CFG = "prodCfg"
+    CONS_TYPE = "consType"
+    CONS_CFG = "consCfg"
+    STREAM_PROC_TYPE = "streamProcType"
+    STREAM_PROC_CFG = "streamProcCfg"
+    STORE_TYPE = "storeType"
+    STORE_CFG = "storeCfg"
+    BROKER_CFG = "brokerCfg"
+    CPU_PERCENTAGE = "cpuPercentage"
+
+
+class LinkAttribute(str, enum.Enum):
+    """Link-level attributes."""
+
+    LATENCY = "lat"
+    BANDWIDTH = "bw"
+    LOSS = "loss"
+    SOURCE_PORT = "st"
+    DESTINATION_PORT = "dt"
+
+
+class ProducerType(str, enum.Enum):
+    """Data source (producer stub) types shipped with the tool."""
+
+    #: Single File Single Topic: produce each line/element of one file to one topic.
+    SFST = "SFST"
+    #: Produce each file in a directory as one message.
+    DIRECTORY = "DIRECTORY"
+    #: Produce synthetic payloads at a constant bitrate to one or more topics.
+    RANDOM_RATE = "RANDOM_RATE"
+    #: Replay pre-generated (timestamp, payload) items.
+    REPLAY = "REPLAY"
+
+
+class ConsumerType(str, enum.Enum):
+    """Data sink (consumer stub) types."""
+
+    #: Subscribe and record every message (default data sink).
+    STANDARD = "STANDARD"
+    #: Append consumed payloads to an in-memory file image.
+    FILE = "FILE"
+    #: Forward consumed messages into an external data store.
+    STORE = "STORE"
+
+
+class StreamProcType(str, enum.Enum):
+    """Supported stream processing engine types.
+
+    The reproduction implements a single micro-batch engine; SPARK maps to it
+    directly, while FLINK and KSTREAM are accepted and mapped onto the same
+    engine with different default configurations (the paper's discussion
+    section describes the analogous plug-in plan for stream2gym).
+    """
+
+    SPARK = "SPARK"
+    FLINK = "FLINK"
+    KSTREAM = "KSTREAM"
+
+
+class StoreType(str, enum.Enum):
+    """Supported data store types (all map onto the table/key-value store)."""
+
+    MYSQL = "MYSQL"
+    MONGODB = "MONGODB"
+    ROCKSDB = "ROCKSDB"
+
+
+#: Attributes whose values are expected to be (or point to) YAML documents.
+CONFIG_ATTRIBUTES = {
+    GraphAttribute.TOPIC_CFG.value,
+    GraphAttribute.FAULT_CFG.value,
+    NodeAttribute.PROD_CFG.value,
+    NodeAttribute.CONS_CFG.value,
+    NodeAttribute.STREAM_PROC_CFG.value,
+    NodeAttribute.STORE_CFG.value,
+    NodeAttribute.BROKER_CFG.value,
+}
+
+ALL_GRAPH_ATTRIBUTES = [attribute.value for attribute in GraphAttribute]
+ALL_NODE_ATTRIBUTES = [attribute.value for attribute in NodeAttribute]
+ALL_LINK_ATTRIBUTES = [attribute.value for attribute in LinkAttribute]
+
+
+def validate_node_attributes(attributes: Dict[str, object]) -> List[str]:
+    """Return a list of problems with a node's attribute dictionary."""
+    problems: List[str] = []
+    known = set(ALL_NODE_ATTRIBUTES)
+    for name in attributes:
+        if name not in known:
+            problems.append(f"unknown node attribute {name!r}")
+    prod_type = attributes.get(NodeAttribute.PROD_TYPE.value)
+    if prod_type is not None and prod_type not in ProducerType.__members__ and prod_type not in [
+        member.value for member in ProducerType
+    ]:
+        problems.append(f"unknown producer type {prod_type!r}")
+    cons_type = attributes.get(NodeAttribute.CONS_TYPE.value)
+    if cons_type is not None and cons_type not in [member.value for member in ConsumerType]:
+        problems.append(f"unknown consumer type {cons_type!r}")
+    spe_type = attributes.get(NodeAttribute.STREAM_PROC_TYPE.value)
+    if spe_type is not None and spe_type not in [member.value for member in StreamProcType]:
+        problems.append(f"unknown stream processing engine type {spe_type!r}")
+    store_type = attributes.get(NodeAttribute.STORE_TYPE.value)
+    if store_type is not None and store_type not in [member.value for member in StoreType]:
+        problems.append(f"unknown store type {store_type!r}")
+    cpu = attributes.get(NodeAttribute.CPU_PERCENTAGE.value)
+    if cpu is not None:
+        try:
+            value = float(cpu)
+            if not 0 < value <= 100:
+                problems.append(f"cpuPercentage must lie in (0, 100], got {value}")
+        except (TypeError, ValueError):
+            problems.append(f"cpuPercentage must be numeric, got {cpu!r}")
+    return problems
+
+
+def validate_link_attributes(attributes: Dict[str, object]) -> List[str]:
+    """Return a list of problems with a link's attribute dictionary."""
+    problems: List[str] = []
+    known = set(ALL_LINK_ATTRIBUTES)
+    for name in attributes:
+        if name not in known:
+            problems.append(f"unknown link attribute {name!r}")
+    for numeric in (LinkAttribute.LATENCY, LinkAttribute.BANDWIDTH, LinkAttribute.LOSS):
+        raw = attributes.get(numeric.value)
+        if raw is None:
+            continue
+        try:
+            value = float(raw)
+        except (TypeError, ValueError):
+            problems.append(f"{numeric.value} must be numeric, got {raw!r}")
+            continue
+        if value < 0:
+            problems.append(f"{numeric.value} must be non-negative, got {value}")
+        if numeric is LinkAttribute.LOSS and value > 100:
+            problems.append(f"loss must be at most 100, got {value}")
+    return problems

@@ -1,0 +1,105 @@
+"""Monitoring: timestamped event logs and latency tracking.
+
+stream2gym logs relevant application events (processing checkpoints, failure
+injections, leader elections) through the Python logging facility and
+collects network statistics through OpenFlow counters.  The reproduction
+gathers the same information in structured form so experiments and tests can
+assert on it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class LoggedEvent:
+    """One timestamped event."""
+
+    time: float
+    component: str
+    event: str
+    details: Dict[str, Any] = field(default_factory=dict)
+
+
+class EventLog:
+    """Cluster-wide, time-ordered event log."""
+
+    def __init__(self) -> None:
+        self.events: List[LoggedEvent] = []
+
+    def record(self, time: float, component: str, event: str, **details: Any) -> None:
+        self.events.append(
+            LoggedEvent(time=time, component=component, event=event, details=details)
+        )
+
+    def by_component(self, component: str) -> List[LoggedEvent]:
+        return [event for event in self.events if event.component == component]
+
+    def by_event(self, event: str) -> List[LoggedEvent]:
+        return [entry for entry in self.events if entry.event == event]
+
+    def between(self, start: float, end: float) -> List[LoggedEvent]:
+        return [event for event in self.events if start <= event.time <= end]
+
+    def merge(self, other_events: List[Dict[str, Any]], component: str) -> None:
+        """Merge raw event dictionaries (e.g. the coordinator's log)."""
+        for entry in other_events:
+            details = {k: v for k, v in entry.items() if k not in ("time", "event")}
+            self.record(entry["time"], component, entry["event"], **details)
+
+    def sorted(self) -> List[LoggedEvent]:
+        return sorted(self.events, key=lambda event: event.time)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+@dataclass
+class LatencySample:
+    """One end-to-end latency observation."""
+
+    time: float
+    latency: float
+    topic: Optional[str] = None
+    key: Any = None
+
+
+class LatencyTracker:
+    """Collects end-to-end latency observations and summarizes them."""
+
+    def __init__(self, name: str = "latency") -> None:
+        self.name = name
+        self.samples: List[LatencySample] = []
+
+    def observe(self, time: float, latency: float, topic: Optional[str] = None, key: Any = None) -> None:
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        self.samples.append(LatencySample(time=time, latency=latency, topic=topic, key=key))
+
+    def values(self, topic: Optional[str] = None) -> List[float]:
+        return [
+            sample.latency
+            for sample in self.samples
+            if topic is None or sample.topic == topic
+        ]
+
+    def mean(self, topic: Optional[str] = None) -> float:
+        values = self.values(topic)
+        return sum(values) / len(values) if values else 0.0
+
+    def percentile(self, fraction: float, topic: Optional[str] = None) -> float:
+        values = sorted(self.values(topic))
+        if not values:
+            return 0.0
+        if not 0 <= fraction <= 1:
+            raise ValueError("fraction must lie in [0, 1]")
+        index = min(len(values) - 1, int(round(fraction * (len(values) - 1))))
+        return values[index]
+
+    def maximum(self, topic: Optional[str] = None) -> float:
+        return max(self.values(topic), default=0.0)
+
+    def __len__(self) -> int:
+        return len(self.samples)

@@ -1,0 +1,52 @@
+"""Registry of stream processing applications.
+
+The ``streamProcCfg`` document names the application a stream processing node
+runs (``app: word-count.py`` in the paper's example).  Applications register a
+builder function here; the component factory looks the name up when deploying
+the node.  A builder receives the node's :class:`StreamingContext`, its
+:class:`SPEAppConfig` and the owning :class:`Emulation` and wires the DStream
+pipeline (sources, operators, sinks).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+AppBuilder = Callable[..., object]
+
+_APPS: Dict[str, AppBuilder] = {}
+
+
+def register_app(name: str, builder: AppBuilder) -> None:
+    """Register (or replace) an application builder under ``name``."""
+    _APPS[_normalize(name)] = builder
+
+
+def app_builder(name: str) -> AppBuilder:
+    """Look up a registered application builder."""
+    normalized = _normalize(name)
+    if normalized not in _APPS:
+        _ensure_builtin_apps()
+    if normalized not in _APPS:
+        raise KeyError(
+            f"unknown stream processing application {name!r}; "
+            f"registered apps: {sorted(_APPS)}"
+        )
+    return _APPS[normalized]
+
+
+def registered_apps() -> List[str]:
+    _ensure_builtin_apps()
+    return sorted(_APPS)
+
+
+def _normalize(name: str) -> str:
+    return name.strip().lower().replace("-", "_").replace(".py", "")
+
+
+def _ensure_builtin_apps() -> None:
+    """Import the bundled applications so that they self-register."""
+    try:
+        import repro.apps  # noqa: F401  (import side effect registers apps)
+    except ImportError:  # pragma: no cover - apps package always ships
+        pass

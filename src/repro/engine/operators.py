@@ -1,0 +1,229 @@
+"""Operator implementations for the DStream DAG.
+
+Operators are pure objects: given the list of :class:`StreamRecord` elements
+of the current micro-batch (and, for stateful operators, their private
+state), they return the transformed list.  The engine charges CPU time per
+processed element separately (see :mod:`repro.engine.executor`), keeping the
+functional logic here deterministic and easily unit-testable.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.engine.records import StreamRecord
+
+
+class Operator:
+    """Base operator: stateless identity."""
+
+    name = "identity"
+
+    def apply(self, batch: List[StreamRecord], now: float) -> List[StreamRecord]:
+        return batch
+
+    def reset(self) -> None:
+        """Clear any operator state (used between experiment repetitions)."""
+
+
+class MapOperator(Operator):
+    """Element-wise transformation of the record value."""
+
+    name = "map"
+
+    def __init__(self, fn: Callable[[Any], Any]) -> None:
+        self.fn = fn
+
+    def apply(self, batch: List[StreamRecord], now: float) -> List[StreamRecord]:
+        return [record.with_value(self.fn(record.value)) for record in batch]
+
+
+class FlatMapOperator(Operator):
+    """Expand each element into zero or more elements."""
+
+    name = "flat_map"
+
+    def __init__(self, fn: Callable[[Any], List[Any]]) -> None:
+        self.fn = fn
+
+    def apply(self, batch: List[StreamRecord], now: float) -> List[StreamRecord]:
+        output: List[StreamRecord] = []
+        for record in batch:
+            for value in self.fn(record.value):
+                output.append(record.with_value(value))
+        return output
+
+
+class FilterOperator(Operator):
+    """Keep only elements whose value satisfies the predicate."""
+
+    name = "filter"
+
+    def __init__(self, predicate: Callable[[Any], bool]) -> None:
+        self.predicate = predicate
+
+    def apply(self, batch: List[StreamRecord], now: float) -> List[StreamRecord]:
+        return [record for record in batch if self.predicate(record.value)]
+
+
+class MapPairsOperator(Operator):
+    """Turn each element into a (key, value) pair; the key drives later grouping."""
+
+    name = "map_pairs"
+
+    def __init__(self, fn: Callable[[Any], Tuple[Any, Any]]) -> None:
+        self.fn = fn
+
+    def apply(self, batch: List[StreamRecord], now: float) -> List[StreamRecord]:
+        output = []
+        for record in batch:
+            key, value = self.fn(record.value)
+            output.append(record.with_value(value, key=key))
+        return output
+
+
+class ReduceByKeyOperator(Operator):
+    """Combine the values of each key within the micro-batch."""
+
+    name = "reduce_by_key"
+
+    def __init__(self, fn: Callable[[Any, Any], Any]) -> None:
+        self.fn = fn
+
+    def apply(self, batch: List[StreamRecord], now: float) -> List[StreamRecord]:
+        grouped: Dict[Any, List[StreamRecord]] = defaultdict(list)
+        for record in batch:
+            grouped[record.key].append(record)
+        output = []
+        for key, records in grouped.items():
+            accumulator = records[0].value
+            for record in records[1:]:
+                accumulator = self.fn(accumulator, record.value)
+            representative = records[0]
+            output.append(representative.with_value(accumulator, key=key))
+        return output
+
+
+class GroupByKeyOperator(Operator):
+    """Collect all values of each key within the batch into a list."""
+
+    name = "group_by_key"
+
+    def apply(self, batch: List[StreamRecord], now: float) -> List[StreamRecord]:
+        grouped: Dict[Any, List[StreamRecord]] = defaultdict(list)
+        for record in batch:
+            grouped[record.key].append(record)
+        return [
+            records[0].with_value([record.value for record in records], key=key)
+            for key, records in grouped.items()
+        ]
+
+
+class WindowOperator(Operator):
+    """Sliding window over wall-clock (simulation) time.
+
+    Keeps every element younger than ``window_duration`` and emits the whole
+    window on each batch.  A ``slide`` larger than the batch interval means
+    the window is only emitted every ``slide`` seconds (empty output in
+    between), matching Spark's ``window(windowDuration, slideDuration)``.
+    """
+
+    name = "window"
+
+    def __init__(self, window_duration: float, slide: Optional[float] = None) -> None:
+        if window_duration <= 0:
+            raise ValueError("window_duration must be positive")
+        self.window_duration = window_duration
+        self.slide = slide
+        self._buffer: deque = deque()
+        self._last_emit: float = float("-inf")
+
+    def apply(self, batch: List[StreamRecord], now: float) -> List[StreamRecord]:
+        for record in batch:
+            self._buffer.append((now, record))
+        cutoff = now - self.window_duration
+        while self._buffer and self._buffer[0][0] < cutoff:
+            self._buffer.popleft()
+        if self.slide is not None and now - self._last_emit < self.slide:
+            return []
+        self._last_emit = now
+        return [record for _, record in self._buffer]
+
+    def reset(self) -> None:
+        self._buffer.clear()
+        self._last_emit = float("-inf")
+
+
+class UpdateStateByKeyOperator(Operator):
+    """Stateful aggregation across batches (Spark's ``updateStateByKey``).
+
+    ``fn(new_values, previous_state)`` returns the new state for the key; the
+    operator emits one element per key whose state changed in this batch.
+    """
+
+    name = "update_state_by_key"
+
+    def __init__(self, fn: Callable[[List[Any], Any], Any]) -> None:
+        self.fn = fn
+        self.state: Dict[Any, Any] = {}
+
+    def apply(self, batch: List[StreamRecord], now: float) -> List[StreamRecord]:
+        grouped: Dict[Any, List[StreamRecord]] = defaultdict(list)
+        for record in batch:
+            grouped[record.key].append(record)
+        output = []
+        for key, records in grouped.items():
+            new_state = self.fn([record.value for record in records], self.state.get(key))
+            self.state[key] = new_state
+            output.append(records[0].with_value(new_state, key=key))
+        return output
+
+    def reset(self) -> None:
+        self.state.clear()
+
+
+class JoinOperator(Operator):
+    """Join this stream with another stream's current batch on the record key.
+
+    The other stream's batch is provided by the engine at execution time via
+    :meth:`set_right_batch`; output values are ``(left_value, right_value)``
+    tuples, one per matching key pair.
+    """
+
+    name = "join"
+
+    def __init__(self) -> None:
+        self._right: List[StreamRecord] = []
+
+    def set_right_batch(self, batch: List[StreamRecord]) -> None:
+        self._right = batch
+
+    def apply(self, batch: List[StreamRecord], now: float) -> List[StreamRecord]:
+        right_by_key: Dict[Any, List[StreamRecord]] = defaultdict(list)
+        for record in self._right:
+            right_by_key[record.key].append(record)
+        output = []
+        for left in batch:
+            for right in right_by_key.get(left.key, []):
+                output.append(
+                    left.with_value((left.value, right.value), key=left.key)
+                )
+        return output
+
+    def reset(self) -> None:
+        self._right = []
+
+
+class ForEachOperator(Operator):
+    """Side-effecting operator: call a function on every element, pass through."""
+
+    name = "for_each"
+
+    def __init__(self, fn: Callable[[StreamRecord], None]) -> None:
+        self.fn = fn
+
+    def apply(self, batch: List[StreamRecord], now: float) -> List[StreamRecord]:
+        for record in batch:
+            self.fn(record)
+        return batch

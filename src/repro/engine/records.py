@@ -1,0 +1,54 @@
+"""Record type flowing through the stream processing engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional
+
+from repro.network.packet import estimate_size
+
+
+@dataclass
+class StreamRecord:
+    """One element of a DStream.
+
+    Attributes
+    ----------
+    value:
+        The payload being processed (any Python object; operators replace it).
+    key:
+        Optional key (set by ``map_pairs`` / key-based operators).
+    event_time:
+        When the element was originally created at the data source.  This is
+        preserved across operators and sinks so that end-to-end latency (the
+        Figure 5 metric) can be measured at the end of a multi-stage pipeline.
+    ingest_time:
+        When the stream processing engine received the element.
+    size:
+        Approximate serialized size in bytes (used for network accounting
+        when the element is re-published to the broker).
+    """
+
+    value: Any
+    key: Any = None
+    event_time: float = 0.0
+    ingest_time: float = 0.0
+    size: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            self.size = estimate_size(self.value)
+
+    def with_value(self, value: Any, key: Any = None, resize: bool = True) -> "StreamRecord":
+        """Derive a new record with the same provenance but a new payload."""
+        return StreamRecord(
+            value=value,
+            key=key if key is not None else self.key,
+            event_time=self.event_time,
+            ingest_time=self.ingest_time,
+            size=estimate_size(value) if resize else self.size,
+        )
+
+    def age(self, now: float) -> float:
+        """Time since the element was created at its source."""
+        return now - self.event_time

@@ -1,0 +1,136 @@
+"""Output sinks for the stream processing engine."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, List, Optional
+
+from repro.broker.message import ProducerRecord
+from repro.broker.producer import Producer, ProducerConfig
+from repro.engine.records import StreamRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.network.host import Host
+    from repro.store.server import StoreClient
+
+
+class Sink:
+    """Base sink: receives the records emitted by a DStream every micro-batch."""
+
+    def __init__(self, name: str = "sink") -> None:
+        self.name = name
+        self.records_written = 0
+
+    def write(self, batch: List[StreamRecord], now: float) -> None:
+        self.records_written += len(batch)
+
+    def start(self) -> None:
+        """Hook for sinks that own network clients."""
+
+    def stop(self) -> None:
+        """Hook for sinks that own network clients."""
+
+
+class MemorySink(Sink):
+    """Collects emitted records in memory (used by tests and local analysis)."""
+
+    def __init__(self, name: str = "memory-sink", keep_records: bool = True) -> None:
+        super().__init__(name=name)
+        self.keep_records = keep_records
+        self.results: List[StreamRecord] = []
+
+    def write(self, batch: List[StreamRecord], now: float) -> None:
+        super().write(batch, now)
+        if self.keep_records:
+            self.results.extend(batch)
+
+    def values(self) -> List[Any]:
+        return [record.value for record in self.results]
+
+    def latest_by_key(self) -> dict:
+        latest = {}
+        for record in self.results:
+            latest[record.key] = record.value
+        return latest
+
+
+class CallbackSink(Sink):
+    """Invokes a user callback per emitted record (data-sink stub hook)."""
+
+    def __init__(self, fn: Callable[[StreamRecord, float], None], name: str = "callback-sink") -> None:
+        super().__init__(name=name)
+        self.fn = fn
+
+    def write(self, batch: List[StreamRecord], now: float) -> None:
+        super().write(batch, now)
+        for record in batch:
+            self.fn(record, now)
+
+
+class KafkaSink(Sink):
+    """Publishes emitted records to a topic on the event streaming platform.
+
+    The original ``event_time`` of each element is carried in the produced
+    value envelope so that downstream pipeline stages (and the final data
+    sink) can compute end-to-end latency across multiple topics.
+    """
+
+    def __init__(
+        self,
+        host: "Host",
+        topic: str,
+        bootstrap: List[str],
+        producer_config: Optional[ProducerConfig] = None,
+        name: Optional[str] = None,
+        envelope: bool = True,
+    ) -> None:
+        super().__init__(name=name or f"kafka-sink-{topic}")
+        self.topic = topic
+        self.envelope = envelope
+        self.producer = Producer(
+            host,
+            bootstrap=bootstrap,
+            config=producer_config,
+            name=f"{self.name}-producer",
+        )
+
+    def start(self) -> None:
+        self.producer.start()
+
+    def stop(self) -> None:
+        self.producer.stop()
+
+    def write(self, batch: List[StreamRecord], now: float) -> None:
+        super().write(batch, now)
+        for record in batch:
+            value = record.value
+            if self.envelope:
+                value = {"value": record.value, "event_time": record.event_time}
+            self.producer.send(
+                ProducerRecord(
+                    topic=self.topic,
+                    key=record.key,
+                    value=value,
+                    size=max(record.size, 16),
+                )
+            )
+
+
+class StoreSink(Sink):
+    """Writes each emitted record into an external key-value / table store."""
+
+    def __init__(
+        self,
+        client: "StoreClient",
+        table: str = "results",
+        name: Optional[str] = None,
+        key_fn: Optional[Callable[[StreamRecord], Any]] = None,
+    ) -> None:
+        super().__init__(name=name or f"store-sink-{table}")
+        self.client = client
+        self.table = table
+        self.key_fn = key_fn or (lambda record: record.key)
+
+    def write(self, batch: List[StreamRecord], now: float) -> None:
+        super().write(batch, now)
+        for record in batch:
+            self.client.put_async(self.table, self.key_fn(record), record.value)

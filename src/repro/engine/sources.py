@@ -1,0 +1,122 @@
+"""Input sources for the stream processing engine."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, List, Optional
+
+from repro.broker.consumer import Consumer, ConsumerConfig, ConsumerRecord
+from repro.engine.records import StreamRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.broker.cluster import BrokerCluster
+    from repro.network.host import Host
+
+
+class Source:
+    """Base class: accumulates records until the driver drains a micro-batch."""
+
+    def __init__(self, name: str = "source") -> None:
+        self.name = name
+        self._pending: List[StreamRecord] = []
+        self.records_ingested = 0
+
+    def push(self, record: StreamRecord) -> None:
+        self._pending.append(record)
+        self.records_ingested += 1
+
+    def drain(self) -> List[StreamRecord]:
+        """Take every record accumulated since the previous micro-batch."""
+        batch, self._pending = self._pending, []
+        return batch
+
+    @property
+    def backlog(self) -> int:
+        return len(self._pending)
+
+    def start(self) -> None:
+        """Begin ingesting (overridden by receiver-backed sources)."""
+
+    def stop(self) -> None:
+        """Stop ingesting."""
+
+
+class MemorySource(Source):
+    """A source fed directly by test or application code."""
+
+    def push_value(self, value: Any, event_time: Optional[float] = None, now: float = 0.0) -> None:
+        self.push(
+            StreamRecord(
+                value=value,
+                event_time=event_time if event_time is not None else now,
+                ingest_time=now,
+            )
+        )
+
+
+class KafkaSource(Source):
+    """A receiver that consumes records from the event streaming platform.
+
+    Wraps a :class:`~repro.broker.consumer.Consumer` whose ``on_record``
+    callback feeds the micro-batch buffer.  The original produce timestamp is
+    preserved as the stream record's ``event_time`` so end-to-end latency can
+    be measured after several pipeline stages.
+    """
+
+    def __init__(
+        self,
+        host: "Host",
+        topics: List[str],
+        bootstrap: List[str],
+        consumer_config: Optional[ConsumerConfig] = None,
+        name: Optional[str] = None,
+        value_from_record=None,
+    ) -> None:
+        super().__init__(name=name or f"kafka-source-{host.name}")
+        config = consumer_config or ConsumerConfig(keep_payloads=False)
+        self.value_from_record = value_from_record
+        self.consumer = Consumer(
+            host,
+            bootstrap=bootstrap,
+            config=config,
+            name=f"{self.name}-consumer",
+            on_record=self._on_record,
+        )
+        self.consumer.subscribe(topics)
+        self.host = host
+
+    def _on_record(self, record: ConsumerRecord) -> None:
+        value = record.value
+        if self.value_from_record is not None:
+            value = self.value_from_record(record)
+        self.push(
+            StreamRecord(
+                value=value,
+                key=record.key,
+                event_time=record.produced_at,
+                ingest_time=self.host.sim.now,
+                size=record.size,
+            )
+        )
+
+    def start(self) -> None:
+        self.consumer.start()
+
+    def stop(self) -> None:
+        self.consumer.stop()
+
+
+def kafka_source_for_cluster(
+    cluster: "BrokerCluster",
+    host_name: str,
+    topics: List[str],
+    consumer_config: Optional[ConsumerConfig] = None,
+) -> KafkaSource:
+    """Convenience constructor wiring a KafkaSource to a cluster's bootstrap list."""
+    host = cluster.network.host(host_name)
+    source = KafkaSource(
+        host,
+        topics=topics,
+        bootstrap=cluster.bootstrap_hosts(prefer=host_name),
+        consumer_config=consumer_config,
+    )
+    return source

@@ -1,0 +1,45 @@
+"""Experiment harnesses reproducing every table and figure of the paper.
+
+Each module exposes a configuration dataclass (with quick defaults suitable
+for CI and larger "paper-scale" settings), a ``run_*`` function returning a
+structured result, and the reference shape reported in the paper so that the
+benchmark harness can check qualitative agreement (who wins, by roughly what
+factor, where curves saturate) rather than absolute numbers.
+
+========================  ==========================================================
+Module                    Paper artefact
+========================  ==========================================================
+``table2_applications``   Table II  — example applications deployed on the tool
+``fig5_link_delay``       Figure 5  — word-count latency vs per-component link delay
+``fig6_partition``        Figure 6  — network partitioning (delivery, latency, bw)
+``fig7a_video_analytics`` Figure 7a — Ichinose et al. reproduction
+``fig7b_traffic_monitoring`` Figure 7b — Ocampo et al. reproduction
+``fig8_accuracy``         Figure 8  — emulation vs hardware testbed accuracy
+``fig9_resources``        Figure 9  — CPU / memory scalability
+========================  ==========================================================
+"""
+
+from repro.experiments.fig5_link_delay import Fig5Config, run_fig5
+from repro.experiments.fig6_partition import Fig6Config, run_fig6
+from repro.experiments.fig7a_video_analytics import Fig7aConfig, run_fig7a
+from repro.experiments.fig7b_traffic_monitoring import Fig7bConfig, run_fig7b
+from repro.experiments.fig8_accuracy import Fig8Config, run_fig8
+from repro.experiments.fig9_resources import Fig9Config, run_fig9
+from repro.experiments.table2_applications import Table2Config, run_table2
+
+__all__ = [
+    "Fig5Config",
+    "run_fig5",
+    "Fig6Config",
+    "run_fig6",
+    "Fig7aConfig",
+    "run_fig7a",
+    "Fig7bConfig",
+    "run_fig7b",
+    "Fig8Config",
+    "run_fig8",
+    "Fig9Config",
+    "run_fig9",
+    "Table2Config",
+    "run_table2",
+]

@@ -1,0 +1,275 @@
+"""Figure 6: behaviour of a replicated event streaming deployment under a partition.
+
+Scenario (Figure 6a): ``n_sites`` coordinating sites are connected in a star.
+Every site hosts a message broker, a data producer that randomly injects data
+into two topics at 30 Kbps, and a consumer subscribed to both topics.  The
+node hosting the leader broker of topic A is disconnected for a while
+(roughly 20% of the experiment).
+
+Reproduced artefacts:
+
+* Figure 6b — the delivery matrix of the producer co-located with the
+  disconnected broker: in ZooKeeper mode, messages produced to topic A during
+  the disconnection are acknowledged locally but silently lost; topic B
+  messages are delayed, not lost.  KRaft mode shows no silent loss.
+* Figure 6c — per-message latency at a consumer, ordered by arrival: two
+  latency spikes, one per topic.
+* Figure 6d — sending throughput of the relevant hosts over time, showing
+  the leader disconnection, the new-leader election/backlog commit, backlog
+  serving to consumers, and the preferred-leader re-election.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.broker.cluster import BrokerCluster, ClusterConfig
+from repro.broker.consumer import ConsumerConfig
+from repro.broker.coordinator import CoordinationMode
+from repro.broker.producer import ProducerConfig
+from repro.broker.topic import TopicConfig
+from repro.core.configs import ProducerStubConfig
+from repro.core.visualization import (
+    DeliveryMatrix,
+    LatencyPoint,
+    delivery_matrix,
+    latency_by_arrival,
+    latency_spikes,
+    throughput_timeseries,
+)
+from repro.network.faults import FaultInjector, NodeDisconnection
+from repro.network.link import LinkConfig
+from repro.network.topology import star_topology
+from repro.simulation import Simulator
+from repro.stubs.producers import RandomRateProducerStub
+
+TOPIC_A = "topicA"
+TOPIC_B = "topicB"
+
+
+@dataclass
+class Fig6Config:
+    """Scenario parameters (quick defaults; the paper runs 10 sites / 600 s)."""
+
+    n_sites: int = 6
+    replication_factor: int = 3
+    rate_kbps: float = 30.0
+    message_size: int = 512
+    duration: float = 300.0
+    disconnect_start: float = 90.0
+    disconnect_duration: float = 60.0
+    mode: CoordinationMode = CoordinationMode.ZOOKEEPER
+    acks: object = 1
+    session_timeout: float = 9.0
+    preferred_election_interval: float = 20.0
+    seed: int = 3
+    #: Site index (1-based) whose broker leads topic A and gets disconnected.
+    leader_site_index: int = 3
+
+
+@dataclass
+class Fig6Result:
+    """All the data behind Figures 6b, 6c and 6d plus summary counters."""
+
+    mode: str
+    delivery: DeliveryMatrix
+    latency_points: List[LatencyPoint]
+    throughput: Dict[str, List[tuple]]
+    events: List[dict]
+    acked_but_lost: int
+    lost_topic_breakdown: Dict[str, int]
+    messages_produced: int
+    messages_consumed: int
+    disconnect_window: tuple
+
+    def loss_only_on_topic_a(self) -> bool:
+        other = {
+            topic: count
+            for topic, count in self.lost_topic_breakdown.items()
+            if topic != TOPIC_A and count > 0
+        }
+        return not other
+
+    def latency_spike_topics(self, threshold: float = 5.0) -> List[str]:
+        return sorted(latency_spikes(self.latency_points, threshold))
+
+    def election_times(self) -> List[float]:
+        return [
+            event["time"]
+            for event in self.events
+            if event.get("event") == "leader-elected"
+        ]
+
+
+def run_fig6(config: Optional[Fig6Config] = None) -> Fig6Result:
+    """Run the Figure 6 scenario and collect all three sub-figures' data."""
+    config = config or Fig6Config()
+    sim = Simulator(seed=config.seed)
+    network, sites = star_topology(
+        sim,
+        config.n_sites,
+        link_config=LinkConfig(latency_ms=2.0, bandwidth_mbps=100.0),
+    )
+    leader_site = sites[config.leader_site_index - 1]
+    coordinator_site = sites[0]
+    if coordinator_site == leader_site:
+        coordinator_site = sites[1]
+
+    cluster = BrokerCluster(
+        network,
+        coordinator_host=coordinator_site,
+        config=ClusterConfig(
+            mode=config.mode,
+            session_timeout=config.session_timeout,
+            preferred_election_interval=config.preferred_election_interval,
+        ),
+    )
+    for site in sites:
+        cluster.add_broker(site)
+    other_leader = sites[(config.leader_site_index) % config.n_sites]
+    cluster.add_topic(
+        TopicConfig(
+            name=TOPIC_A,
+            replication_factor=config.replication_factor,
+            preferred_leader=f"broker-{leader_site}",
+        )
+    )
+    cluster.add_topic(
+        TopicConfig(
+            name=TOPIC_B,
+            replication_factor=config.replication_factor,
+            preferred_leader=f"broker-{other_leader}",
+        )
+    )
+
+    producer_config = ProducerStubConfig(
+        topics=[TOPIC_A, TOPIC_B],
+        message_size=config.message_size,
+        rate_kbps=config.rate_kbps,
+    )
+    producers = {}
+    consumers = {}
+    for site in sites:
+        stub = RandomRateProducerStub(cluster, site, config=producer_config, name=f"prod-{site}")
+        stub.producer.config.acks = config.acks
+        stub.producer.config.delivery_timeout = config.duration
+        stub.producer.config.request_timeout = 1.0
+        producers[site] = stub
+        consumers[site] = cluster.create_consumer(
+            site,
+            config=ConsumerConfig(poll_interval=0.1, keep_payloads=True),
+            name=f"cons-{site}",
+        )
+        consumers[site].subscribe([TOPIC_A, TOPIC_B])
+
+    injector = FaultInjector(network)
+    injector.schedule_node_disconnection(
+        NodeDisconnection(
+            node=leader_site,
+            start=config.disconnect_start,
+            duration=config.disconnect_duration,
+        )
+    )
+
+    cluster.start(settle_time=3.0)
+    network.bandwidth_monitor.start()
+
+    def start_clients() -> None:
+        for stub in producers.values():
+            stub.start()
+        for consumer in consumers.values():
+            consumer.start()
+
+    sim.schedule_callback(10.0, start_clients, name="fig6:start-clients")
+    sim.run(until=config.duration)
+    network.bandwidth_monitor.stop()
+
+    co_located_producer = producers[leader_site].producer
+    observer_site = next(site for site in sites if site != leader_site)
+    observer = consumers[observer_site]
+
+    matrix = delivery_matrix(
+        co_located_producer, [consumers[site] for site in sites], topic=None
+    )
+    points = latency_by_arrival(observer, topics=[TOPIC_A, TOPIC_B])
+    throughput = {}
+    for site in (leader_site, other_leader, coordinator_site):
+        series = network.bandwidth_monitor.series_for(site)
+        throughput[site] = throughput_timeseries(series) if series else []
+
+    # "Acked but lost": records the producers believe were delivered (they got
+    # an acknowledgement) that no consumer ever received.  Records acked close
+    # to the end of the run are excluded — consumers may simply not have
+    # fetched them yet, which is a measurement artefact, not data loss.
+    tail_margin = 20.0
+    cutoff = config.duration - tail_margin
+    delivered_keys: Dict[str, set] = {TOPIC_A: set(), TOPIC_B: set()}
+    for consumer in consumers.values():
+        for record in consumer.received:
+            delivered_keys.setdefault(record.topic, set()).add(record.key)
+    acked_but_lost = 0
+    lost_breakdown: Dict[str, int] = {TOPIC_A: 0, TOPIC_B: 0}
+    for stub in producers.values():
+        for report in stub.producer.reports:
+            if not report.acknowledged or report.acknowledged_at > cutoff:
+                continue
+            if report.key not in delivered_keys.get(report.topic, set()):
+                acked_but_lost += 1
+                lost_breakdown[report.topic] = lost_breakdown.get(report.topic, 0) + 1
+
+    produced = sum(stub.messages_produced for stub in producers.values())
+    consumed = sum(consumer.records_consumed for consumer in consumers.values())
+
+    return Fig6Result(
+        mode=CoordinationMode(config.mode).value,
+        delivery=matrix,
+        latency_points=points,
+        throughput=throughput,
+        events=list(cluster.coordinator.event_log),
+        acked_but_lost=acked_but_lost,
+        lost_topic_breakdown=lost_breakdown,
+        messages_produced=produced,
+        messages_consumed=consumed,
+        disconnect_window=(
+            config.disconnect_start,
+            config.disconnect_start + config.disconnect_duration,
+        ),
+    )
+
+
+def run_mode_comparison(config: Optional[Fig6Config] = None) -> Dict[str, Fig6Result]:
+    """Run the scenario in both coordination modes (the paper's ZK vs Raft finding)."""
+    config = config or Fig6Config()
+    zk_config = Fig6Config(**{**config.__dict__, "mode": CoordinationMode.ZOOKEEPER, "acks": 1})
+    kraft_config = Fig6Config(**{**config.__dict__, "mode": CoordinationMode.KRAFT, "acks": "all"})
+    return {
+        "zookeeper": run_fig6(zk_config),
+        "kraft": run_fig6(kraft_config),
+    }
+
+
+PAPER_SHAPE = {
+    "zookeeper_loses_messages": True,
+    "losses_only_from_partitioned_topic": True,
+    "kraft_loses_messages": False,
+    "latency_spikes_per_topic": 2,
+    "throughput_events": ["leader-disconnection", "election", "backlog-serving", "preferred-reelection"],
+}
+
+
+def check_shape(results: Dict[str, Fig6Result]) -> List[str]:
+    """Check the qualitative Figure 6 findings on a ZK/KRaft result pair."""
+    problems = []
+    zk = results.get("zookeeper")
+    kraft = results.get("kraft")
+    if zk is not None:
+        if zk.acked_but_lost == 0:
+            problems.append("ZooKeeper mode should silently lose some acknowledged records")
+        if not zk.loss_only_on_topic_a():
+            problems.append("losses should come only from the partitioned topic (topic A)")
+        if not zk.election_times():
+            problems.append("a new leader election should have happened")
+    if kraft is not None and kraft.acked_but_lost > 0:
+        problems.append("KRaft mode must not silently lose acknowledged records")
+    return problems

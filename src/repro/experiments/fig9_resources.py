@@ -1,0 +1,179 @@
+"""Figure 9: resource usage of the underlying server for large emulations.
+
+The scenario of Figure 6a is scaled from 2 to 10 coordinating sites (each
+site hosting a broker, a 30 Kbps producer and a consumer).  The underlying
+server's CPU and memory utilization is sampled every 500 ms after a warm-up
+interval.
+
+Reproduced artefacts:
+
+* Figure 9a — the CDF of CPU utilization per site count (the CPU stays below
+  ~60% for the vast majority of samples even at 10 sites);
+* Figure 9b — the median CPU utilization grows only a few percentage points
+  from 2 to 10 sites and stays low (~10%);
+* Figure 9c — the peak memory usage grows roughly linearly with the site
+  count and is sensitive to the producers' ``buffer.memory`` (16 MB vs 32 MB).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.broker.cluster import BrokerCluster, ClusterConfig
+from repro.broker.consumer import ConsumerConfig
+from repro.broker.topic import TopicConfig
+from repro.core.configs import ProducerStubConfig
+from repro.core.resources import HostResourceModel, ResourceReport, ServerSpec
+from repro.network.link import LinkConfig
+from repro.network.topology import star_topology
+from repro.simulation import Simulator
+from repro.stubs.producers import RandomRateProducerStub
+
+
+@dataclass
+class Fig9Config:
+    """Scaling parameters (quick defaults; the paper samples 2-10 sites)."""
+
+    site_counts: List[int] = field(default_factory=lambda: [2, 4, 6, 8, 10])
+    buffer_sizes: List[int] = field(
+        default_factory=lambda: [16 * 1024 * 1024, 32 * 1024 * 1024]
+    )
+    rate_kbps: float = 30.0
+    message_size: int = 512
+    duration: float = 90.0
+    warmup: float = 60.0
+    replication_factor: int = 2
+    seed: int = 4
+
+
+@dataclass
+class Fig9Result:
+    """Reports keyed by (n_sites, buffer_size)."""
+
+    reports: Dict[tuple, ResourceReport]
+
+    def median_cpu_series(self, buffer_size: int) -> Dict[int, float]:
+        return {
+            sites: report.median_cpu()
+            for (sites, buffer), report in self.reports.items()
+            if buffer == buffer_size
+        }
+
+    def peak_memory_series(self, buffer_size: int) -> Dict[int, float]:
+        return {
+            sites: report.peak_memory()
+            for (sites, buffer), report in self.reports.items()
+            if buffer == buffer_size
+        }
+
+    def cpu_cdf(self, n_sites: int, buffer_size: int):
+        return self.reports[(n_sites, buffer_size)].cpu_cdf()
+
+    def cpu_increase(self, buffer_size: int) -> float:
+        """Median CPU increase from the smallest to the largest site count."""
+        series = self.median_cpu_series(buffer_size)
+        counts = sorted(series)
+        if len(counts) < 2:
+            return 0.0
+        return series[counts[-1]] - series[counts[0]]
+
+    def memory_increase_percent(self, buffer_size: int) -> float:
+        series = self.peak_memory_series(buffer_size)
+        counts = sorted(series)
+        if len(counts) < 2:
+            return 0.0
+        return series[counts[-1]] - series[counts[0]]
+
+
+def run_single(n_sites: int, buffer_size: int, config: Fig9Config) -> ResourceReport:
+    """Run the Figure 6a scenario at one (site count, buffer size) point."""
+    sim = Simulator(seed=config.seed)
+    network, sites = star_topology(
+        sim, n_sites, link_config=LinkConfig(latency_ms=2.0, bandwidth_mbps=100.0)
+    )
+    cluster = BrokerCluster(network, coordinator_host=sites[0], config=ClusterConfig())
+    for site in sites:
+        cluster.add_broker(site)
+    replication = min(config.replication_factor, n_sites)
+    cluster.add_topic(TopicConfig(name="topicA", replication_factor=replication))
+    cluster.add_topic(TopicConfig(name="topicB", replication_factor=replication))
+
+    producer_config = ProducerStubConfig(
+        topics=["topicA", "topicB"],
+        message_size=config.message_size,
+        rate_kbps=config.rate_kbps,
+        buffer_memory=buffer_size,
+    )
+    producer_stubs = []
+    for site in sites:
+        producer_stubs.append(
+            RandomRateProducerStub(cluster, site, config=producer_config, name=f"prod-{site}")
+        )
+        consumer = cluster.create_consumer(
+            site,
+            config=ConsumerConfig(poll_interval=0.1, keep_payloads=False),
+            name=f"cons-{site}",
+        )
+        consumer.subscribe(["topicA", "topicB"])
+
+    model = HostResourceModel(network, interval=0.5, server=ServerSpec())
+    cluster.start(settle_time=3.0)
+    model.start(warmup=config.warmup)
+
+    def start_clients() -> None:
+        for stub in producer_stubs:
+            stub.start()
+        for consumer in cluster.consumers:
+            consumer.start()
+
+    sim.schedule_callback(8.0, start_clients, name="fig9:start-clients")
+    sim.run(until=config.warmup + config.duration)
+    model.stop()
+    return model.report
+
+
+def run_fig9(config: Optional[Fig9Config] = None) -> Fig9Result:
+    """Run the full scaling sweep."""
+    config = config or Fig9Config()
+    reports: Dict[tuple, ResourceReport] = {}
+    for buffer_size in config.buffer_sizes:
+        for n_sites in config.site_counts:
+            reports[(n_sites, buffer_size)] = run_single(n_sites, buffer_size, config)
+    return Fig9Result(reports=reports)
+
+
+PAPER_SHAPE = {
+    "cpu_below_60_percent_fraction": 0.9,
+    "median_cpu_increase_max": 8.0,
+    "memory_increase_max_percent": 25.0,
+    "buffer_size_affects_memory": True,
+}
+
+
+def check_shape(result: Fig9Result, config: Optional[Fig9Config] = None) -> List[str]:
+    """Check the qualitative Figure 9 findings."""
+    config = config or Fig9Config()
+    problems = []
+    largest = max(config.site_counts)
+    big_buffer = max(config.buffer_sizes)
+    small_buffer = min(config.buffer_sizes)
+    report = result.reports[(largest, big_buffer)]
+    if report.fraction_below(60.0) < PAPER_SHAPE["cpu_below_60_percent_fraction"]:
+        problems.append("CPU should stay below 60% for the vast majority of samples")
+    if result.cpu_increase(big_buffer) > PAPER_SHAPE["median_cpu_increase_max"]:
+        problems.append("median CPU increase across the sweep should stay small (<8%)")
+    memory_series = result.peak_memory_series(big_buffer)
+    counts = sorted(memory_series)
+    for earlier, later in zip(counts, counts[1:]):
+        if memory_series[later] < memory_series[earlier]:
+            problems.append("peak memory should grow with the number of sites")
+            break
+    if result.memory_increase_percent(big_buffer) > PAPER_SHAPE["memory_increase_max_percent"]:
+        problems.append("total memory increase should stay modest (<25 points)")
+    if big_buffer != small_buffer:
+        big = result.peak_memory_series(big_buffer)[largest]
+        small = result.peak_memory_series(small_buffer)[largest]
+        if big <= small:
+            problems.append("larger producer buffers should consume more memory")
+    return problems

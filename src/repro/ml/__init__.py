@@ -1,0 +1,13 @@
+"""Lightweight machine learning used by the example applications.
+
+The fraud-detection application runs an SVM over transaction streams and the
+sentiment-analysis application computes polarity/subjectivity of tweets.  The
+reproduction ships minimal, dependency-light implementations of both: a
+linear SVM trained with stochastic sub-gradient descent on the hinge loss,
+and a lexicon-based sentiment scorer.
+"""
+
+from repro.ml.svm import LinearSVM
+from repro.ml.sentiment import sentiment_scores
+
+__all__ = ["LinearSVM", "sentiment_scores"]

@@ -1,0 +1,56 @@
+"""Lexicon-based sentiment analysis (polarity and subjectivity)."""
+
+from __future__ import annotations
+
+import re
+from typing import Dict
+
+POSITIVE_WORDS = {
+    "love", "amazing", "great", "wonderful", "happy", "excellent", "fantastic",
+    "good", "best", "awesome", "nice", "perfect", "beautiful", "impressive",
+}
+NEGATIVE_WORDS = {
+    "terrible", "awful", "disappointed", "worst", "horrible", "broken", "bad",
+    "bug", "outage", "slow", "fail", "failed", "poor", "ugly", "sad",
+}
+SUBJECTIVE_MARKERS = {
+    "i", "me", "my", "think", "feel", "opinion", "honestly", "personally",
+    "believe", "hope", "wish", "hate", "love",
+}
+
+_TOKEN_PATTERN = re.compile(r"[a-z']+")
+
+
+def _tokenize(text: str) -> list:
+    return _TOKEN_PATTERN.findall(text.lower())
+
+
+def sentiment_scores(text: str) -> Dict[str, float]:
+    """Compute polarity in [-1, 1] and subjectivity in [0, 1] for a text.
+
+    Polarity is the normalized balance of positive vs negative lexicon hits;
+    subjectivity is the fraction of tokens that are opinion markers or carry
+    sentiment.  These are the two NLP tasks the paper's sentiment-analysis
+    application computes per tweet.
+    """
+    tokens = _tokenize(text)
+    if not tokens:
+        return {"polarity": 0.0, "subjectivity": 0.0}
+    positives = sum(1 for token in tokens if token in POSITIVE_WORDS)
+    negatives = sum(1 for token in tokens if token in NEGATIVE_WORDS)
+    markers = sum(1 for token in tokens if token in SUBJECTIVE_MARKERS)
+    sentiment_hits = positives + negatives
+    polarity = 0.0
+    if sentiment_hits:
+        polarity = (positives - negatives) / sentiment_hits
+    subjectivity = min(1.0, (markers + sentiment_hits) / len(tokens) * 2.0)
+    return {"polarity": polarity, "subjectivity": subjectivity}
+
+
+def classify_polarity(polarity: float, threshold: float = 0.1) -> str:
+    """Map a polarity score to a discrete label."""
+    if polarity > threshold:
+        return "positive"
+    if polarity < -threshold:
+        return "negative"
+    return "neutral"

@@ -1,0 +1,70 @@
+"""IP and MAC address allocation for emulated nodes.
+
+Mininet assigns each emulated host an IP in the 10.0.0.0/8 range and a
+sequential MAC address; we mirror that so that logs and monitoring output look
+familiar and so that address-keyed data structures behave like the original.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class NodeAddress:
+    """The layer-2/3 identity of an emulated node."""
+
+    name: str
+    ip: str
+    mac: str
+
+    def __str__(self) -> str:
+        return f"{self.name}({self.ip})"
+
+
+class AddressAllocator:
+    """Sequentially allocates unique IP/MAC pairs within an emulation."""
+
+    def __init__(self, base_network: str = "10.0.0.0") -> None:
+        octets = base_network.split(".")
+        if len(octets) != 4 or not all(part.isdigit() for part in octets):
+            raise ValueError(f"invalid base network {base_network!r}")
+        self._base = [int(part) for part in octets]
+        self._next_host = 1
+        self._by_name: Dict[str, NodeAddress] = {}
+        self._by_ip: Dict[str, NodeAddress] = {}
+
+    def allocate(self, name: str) -> NodeAddress:
+        """Allocate (or return the existing) address for ``name``."""
+        if name in self._by_name:
+            return self._by_name[name]
+        index = self._next_host
+        self._next_host += 1
+        if index > 0xFFFFFF:
+            raise RuntimeError("address space exhausted")
+        ip = (
+            f"{self._base[0]}."
+            f"{(index >> 16) & 0xFF}."
+            f"{(index >> 8) & 0xFF}."
+            f"{index & 0xFF}"
+        )
+        mac = "00:00:" + ":".join(
+            f"{(index >> shift) & 0xFF:02x}" for shift in (24, 16, 8, 0)
+        )
+        address = NodeAddress(name=name, ip=ip, mac=mac)
+        self._by_name[name] = address
+        self._by_ip[ip] = address
+        return address
+
+    def lookup(self, name: str) -> Optional[NodeAddress]:
+        return self._by_name.get(name)
+
+    def resolve_ip(self, ip: str) -> Optional[NodeAddress]:
+        return self._by_ip.get(ip)
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name

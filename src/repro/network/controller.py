@@ -1,0 +1,119 @@
+"""Proactive network controller.
+
+stream2gym configures its emulated network proactively with a lightweight
+control daemon based on ``ovs-ofctl`` so that the control plane does not
+interfere with measurements.  This controller plays the same role: it builds a
+graph of the current topology (excluding failed links), computes shortest
+paths (latency-weighted) from every switch to every host, and installs the
+resulting next-hop entries in the switches' forwarding tables.  It is invoked
+once at start-up and again whenever the fault injector changes link state.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+import networkx as nx
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.network.network import Network
+
+
+class NetworkController:
+    """Computes and installs forwarding state for all switches."""
+
+    def __init__(self, network: "Network", routing: str = "shortest-path") -> None:
+        if routing not in ("shortest-path", "spanning-tree"):
+            raise ValueError(f"unknown routing algorithm {routing!r}")
+        self.network = network
+        self.routing = routing
+        self.recomputations = 0
+
+    # -- public API -----------------------------------------------------------------
+    def install_all_routes(self) -> None:
+        """(Re)compute routes for the current topology and install them."""
+        self.recomputations += 1
+        graph = self._build_graph()
+        for switch in self.network.switches.values():
+            switch.clear_routes()
+        for switch_name, switch in self.network.switches.items():
+            if switch_name not in graph:
+                continue
+            for host_name in self.network.hosts:
+                if host_name not in graph:
+                    continue
+                next_hop = self._next_hop(graph, switch_name, host_name)
+                if next_hop is None:
+                    continue
+                port = self._port_towards(switch_name, next_hop)
+                if port is not None:
+                    switch.install_route(host_name, port)
+
+    def handle_topology_change(self) -> None:
+        """Called by the fault injector after links go down or come back up."""
+        self.install_all_routes()
+
+    # -- internals --------------------------------------------------------------------
+    def _build_graph(self) -> nx.Graph:
+        graph = nx.Graph()
+        for name in self.network.hosts:
+            graph.add_node(name)
+        for name in self.network.switches:
+            graph.add_node(name)
+        for link in self.network.links:
+            if not link.up:
+                continue
+            a, b = link.endpoints()
+            # Weight by latency so multi-path topologies prefer fast routes;
+            # add a tiny epsilon so zero-latency links still count hops.
+            weight = link.config.latency_ms + 1e-3
+            graph.add_edge(a, b, weight=weight)
+        if self.routing == "spanning-tree":
+            if graph.number_of_edges() > 0:
+                graph = nx.minimum_spanning_tree(graph, weight="weight")
+        return graph
+
+    def _next_hop(self, graph: nx.Graph, src: str, dst: str) -> Optional[str]:
+        if src == dst:
+            return None
+        try:
+            path = nx.shortest_path(graph, src, dst, weight="weight")
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            return None
+        if len(path) < 2:
+            return None
+        return path[1]
+
+    def _port_towards(self, node_name: str, neighbor_name: str) -> Optional[int]:
+        node = self.network.node(node_name)
+        for number, port in node.ports.items():
+            if port.link is None:
+                continue
+            other = port.link.other_port(port)
+            if other.node.name == neighbor_name:
+                return number
+        return None
+
+    def path_between(self, src: str, dst: str) -> Optional[Tuple[str, ...]]:
+        """Return the current forwarding path between two nodes (for tests)."""
+        graph = self._build_graph()
+        try:
+            return tuple(nx.shortest_path(graph, src, dst, weight="weight"))
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            return None
+
+    def reachability(self) -> Dict[str, Dict[str, bool]]:
+        """Host-to-host reachability matrix under the current topology."""
+        graph = self._build_graph()
+        hosts = list(self.network.hosts)
+        matrix: Dict[str, Dict[str, bool]] = {}
+        for src in hosts:
+            matrix[src] = {}
+            for dst in hosts:
+                if src == dst:
+                    matrix[src][dst] = True
+                    continue
+                matrix[src][dst] = (
+                    src in graph and dst in graph and nx.has_path(graph, src, dst)
+                )
+        return matrix

@@ -1,0 +1,157 @@
+"""Emulated links with latency, bandwidth and loss shaping.
+
+A link connects two ports and carries traffic independently in each
+direction.  The model is store-and-forward: a packet first occupies the
+transmitter for its serialization time (``wire_size / bandwidth``), then
+propagates for the configured latency, then (unless lost or the link went
+down in flight) is delivered to the far port.  Queueing happens naturally
+because each direction serializes one packet at a time, which is how
+congestion, head-of-line blocking and the bandwidth spikes of Figure 6d
+emerge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.network.node import Port
+from repro.network.packet import Packet
+from repro.simulation.resources import Store
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulation import Simulator
+
+
+@dataclass
+class LinkConfig:
+    """Shaping parameters of a link (Table I link attributes).
+
+    Attributes
+    ----------
+    latency_ms:
+        One-way propagation delay in milliseconds (``lat``).
+    bandwidth_mbps:
+        Capacity in megabits per second (``bw``).  ``None`` means unshaped
+        (effectively infinite, as in Mininet links without a ``bw`` option).
+    loss_percent:
+        Random packet loss percentage (``loss``).
+    """
+
+    latency_ms: float = 0.0
+    bandwidth_mbps: Optional[float] = 1000.0
+    loss_percent: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.latency_ms < 0:
+            raise ValueError("latency must be non-negative")
+        if self.bandwidth_mbps is not None and self.bandwidth_mbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if not 0.0 <= self.loss_percent <= 100.0:
+            raise ValueError("loss must lie in [0, 100]")
+
+    @property
+    def latency_s(self) -> float:
+        return self.latency_ms / 1000.0
+
+    @property
+    def loss_probability(self) -> float:
+        return self.loss_percent / 100.0
+
+    def serialization_delay(self, wire_size_bytes: int) -> float:
+        """Time to clock ``wire_size_bytes`` onto the wire."""
+        if self.bandwidth_mbps is None:
+            return 0.0
+        return wire_size_bytes * 8 / (self.bandwidth_mbps * 1e6)
+
+
+class Link:
+    """A bidirectional link between two ports."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        port_a: Port,
+        port_b: Port,
+        config: Optional[LinkConfig] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        self.sim = sim
+        self.port_a = port_a
+        self.port_b = port_b
+        self.config = config or LinkConfig()
+        self.name = name or (
+            f"{port_a.node.name}:{port_a.number}<->{port_b.node.name}:{port_b.number}"
+        )
+        self.up = True
+        self._rng = sim.rng(f"link-loss:{self.name}")
+        self._queues = {id(port_a): Store(sim), id(port_b): Store(sim)}
+        self.packets_dropped_loss = 0
+        self.packets_dropped_down = 0
+        self.packets_delivered = 0
+        port_a.attach(self)
+        port_b.attach(self)
+        sim.process(self._pump(port_a, port_b), name=f"link:{self.name}:a->b")
+        sim.process(self._pump(port_b, port_a), name=f"link:{self.name}:b->a")
+
+    # -- wiring ----------------------------------------------------------------
+    def other_port(self, port: Port) -> Port:
+        if port is self.port_a:
+            return self.port_b
+        if port is self.port_b:
+            return self.port_a
+        raise ValueError(f"{port!r} is not attached to {self.name}")
+
+    def endpoints(self):
+        """The two node names this link connects."""
+        return (self.port_a.node.name, self.port_b.node.name)
+
+    # -- state ----------------------------------------------------------------
+    def set_down(self) -> None:
+        """Administratively disable the link (both directions)."""
+        self.up = False
+
+    def set_up(self) -> None:
+        self.up = True
+
+    # -- data path --------------------------------------------------------------
+    def transmit(self, packet: Packet, from_port: Port) -> None:
+        """Enqueue ``packet`` for transmission away from ``from_port``."""
+        self._queues[id(from_port)].put(packet)
+
+    def _pump(self, src: Port, dst: Port):
+        """Serialize packets from ``src`` towards ``dst`` one at a time."""
+        queue = self._queues[id(src)]
+        while True:
+            packet = yield queue.get()
+            if not self.up:
+                self.packets_dropped_down += 1
+                src.stats.record_tx_drop()
+                continue
+            serialization = self.config.serialization_delay(packet.wire_size)
+            if serialization > 0:
+                yield self.sim.timeout(serialization)
+            if not self.up:
+                self.packets_dropped_down += 1
+                src.stats.record_tx_drop()
+                continue
+            if self._rng.bernoulli(self.config.loss_probability):
+                self.packets_dropped_loss += 1
+                continue
+            # Propagation happens in parallel with the next serialization.
+            self.sim.schedule_callback(
+                self.config.latency_s,
+                lambda p=packet, d=dst: self._arrive(p, d),
+                name=f"link:{self.name}:deliver",
+            )
+
+    def _arrive(self, packet: Packet, dst: Port) -> None:
+        if not self.up:
+            self.packets_dropped_down += 1
+            return
+        self.packets_delivered += 1
+        dst.deliver(packet)
+
+    def __repr__(self) -> str:
+        state = "up" if self.up else "down"
+        return f"<Link {self.name} {state} {self.config.latency_ms}ms>"

@@ -1,0 +1,103 @@
+"""Packet model.
+
+The emulation is message-level rather than byte-level: a :class:`Packet`
+represents one application-layer message (e.g. a produce request or a fetch
+response) together with enough metadata for links and switches to shape and
+route it.  Sizes are tracked in bytes so that bandwidth and buffer accounting
+remain meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Any, Dict, Optional
+
+#: Fixed per-message protocol overhead in bytes (Ethernet + IP + TCP headers).
+HEADER_OVERHEAD_BYTES = 66
+
+_packet_ids = count(1)
+
+
+@dataclass
+class Packet:
+    """One message travelling through the emulated network.
+
+    Attributes
+    ----------
+    src / dst:
+        Names of the source and destination *hosts*.
+    src_port / dst_port:
+        Application-level port numbers (services bind to ports on hosts).
+    payload:
+        Arbitrary Python object carried by the message.  The network never
+        inspects it.
+    size:
+        Payload size in bytes (excluding protocol overhead).
+    created_at:
+        Simulated time at which the packet entered the network.
+    trace:
+        Names of the nodes the packet has traversed (for tests/debugging).
+    """
+
+    src: str
+    dst: str
+    payload: Any
+    size: int = 0
+    src_port: int = 0
+    dst_port: int = 0
+    created_at: float = 0.0
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    headers: Dict[str, Any] = field(default_factory=dict)
+    trace: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError(f"packet size must be non-negative, got {self.size}")
+
+    @property
+    def wire_size(self) -> int:
+        """Bytes actually occupying the wire (payload + protocol overhead)."""
+        return self.size + HEADER_OVERHEAD_BYTES
+
+    def hop(self, node_name: str) -> None:
+        """Record traversal of a node."""
+        self.trace.append(node_name)
+
+    def copy_for_forwarding(self) -> "Packet":
+        """Packets are forwarded by reference in this emulator; provided for clarity."""
+        return self
+
+    def age(self, now: float) -> float:
+        """Time the packet has spent in the network."""
+        return now - self.created_at
+
+    def __repr__(self) -> str:
+        return (
+            f"<Packet #{self.packet_id} {self.src}:{self.src_port} -> "
+            f"{self.dst}:{self.dst_port} {self.size}B>"
+        )
+
+
+def estimate_size(payload: Any, floor: int = 16) -> int:
+    """Best-effort serialized size estimate for arbitrary payloads.
+
+    The broker and SPE compute record sizes explicitly; this helper exists for
+    stub components that send plain Python objects.
+    """
+    if payload is None:
+        return floor
+    if isinstance(payload, (bytes, bytearray)):
+        return max(floor, len(payload))
+    if isinstance(payload, str):
+        return max(floor, len(payload.encode("utf-8")))
+    if isinstance(payload, (int, float, bool)):
+        return max(floor, 8)
+    if isinstance(payload, dict):
+        return max(
+            floor,
+            sum(estimate_size(k, 4) + estimate_size(v, 4) for k, v in payload.items()),
+        )
+    if isinstance(payload, (list, tuple, set)):
+        return max(floor, sum(estimate_size(item, 4) for item in payload))
+    return max(floor, len(repr(payload)))

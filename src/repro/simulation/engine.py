@@ -1,0 +1,181 @@
+"""The simulator: event queue, clock, and run loop."""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable, Generator, Iterable, Optional, Union
+
+from repro.simulation.events import AllOf, AnyOf, Event, Timeout
+from repro.simulation.process import Process
+from repro.simulation.rng import SeededRandom, deterministic_hash
+
+# Priorities: interrupts pre-empt normal events scheduled at the same time.
+URGENT = 0
+NORMAL = 1
+
+
+class EmptySchedule(Exception):
+    """Raised internally when there are no more events to process."""
+
+
+class StopSimulation(Exception):
+    """Raised to terminate :meth:`Simulator.run` when its until-event fires."""
+
+
+class Simulator:
+    """Discrete-event simulator.
+
+    The simulator owns the clock and the event queue.  It is deterministic:
+    given the same seed and the same sequence of scheduled processes it will
+    produce identical traces, which the test-suite relies upon.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulated clock (seconds).
+    seed:
+        Seed for the simulator-owned random number generator.  Components
+        should draw randomness from :attr:`random` (or children created via
+        :meth:`rng`) so that experiments are reproducible.
+    """
+
+    def __init__(self, initial_time: float = 0.0, seed: int = 0) -> None:
+        self._now = float(initial_time)
+        self._queue: list = []
+        self._eid = count()
+        self._active_process: Optional[Process] = None
+        self.random = SeededRandom(seed)
+        self._seed = seed
+        self._processed_events = 0
+
+    # -- clock -------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed (None outside process code)."""
+        return self._active_process
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events processed so far (diagnostics / benchmarks)."""
+        return self._processed_events
+
+    def rng(self, name: str) -> SeededRandom:
+        """Derive a named, independent random stream from the simulator seed."""
+        return SeededRandom(deterministic_hash(self._seed, name) & 0x7FFFFFFF)
+
+    # -- event construction -------------------------------------------------
+    def event(self) -> Event:
+        """Create a new pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self, generator: Generator[Event, Any, Any], name: Optional[str] = None
+    ) -> Process:
+        """Register ``generator`` as a new simulation process."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires once all ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires once any of ``events`` has fired."""
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        heapq.heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+
+    def schedule_callback(
+        self, delay: float, callback: Callable[[], None], name: str = "callback"
+    ) -> Process:
+        """Run ``callback()`` once, ``delay`` seconds from now, as a tiny process."""
+
+        def _runner() -> Generator[Event, Any, Any]:
+            yield self.timeout(delay)
+            callback()
+
+        return self.process(_runner(), name=name)
+
+    # -- run loop -------------------------------------------------------------
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        try:
+            when, _priority, _eid, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+        self._processed_events += 1
+        if not event._ok and not event.defused:
+            # Unhandled failure: crash the simulation like an uncaught exception.
+            raise event._value
+
+    def run(self, until: Union[None, float, Event] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until no events remain;
+        * a number — run until the clock reaches that time;
+        * an :class:`Event` — run until that event fires and return its value.
+        """
+        until_event: Optional[Event] = None
+        if until is not None:
+            if isinstance(until, Event):
+                until_event = until
+            else:
+                deadline = float(until)
+                if deadline < self._now:
+                    raise ValueError(
+                        f"until={deadline} lies in the past (now={self._now})"
+                    )
+                until_event = Event(self)
+                until_event._ok = True
+                until_event._value = None
+                self._schedule(until_event, delay=deadline - self._now, priority=URGENT)
+            until_event.callbacks.append(self._stop_callback)
+
+        try:
+            while True:
+                self.step()
+        except StopSimulation as stop:
+            return stop.args[0] if stop.args else None
+        except EmptySchedule:
+            if until_event is not None and not until_event.triggered:
+                return None
+            return None
+
+    def run_until_idle(self, max_time: Optional[float] = None) -> float:
+        """Drain the event queue (optionally bounded by ``max_time``) and return the clock."""
+        while self._queue:
+            if max_time is not None and self.peek() > max_time:
+                self._now = max_time
+                break
+            self.step()
+        return self._now
+
+    def _stop_callback(self, event: Event) -> None:
+        if event._ok:
+            raise StopSimulation(event._value)
+        raise event._value
+
+    def __repr__(self) -> str:
+        return f"<Simulator t={self._now:.6f} queued={len(self._queue)}>"

@@ -1,0 +1,298 @@
+"""Shared resources for inter-process coordination.
+
+Three families of primitives are provided:
+
+* :class:`Store` / :class:`PriorityStore` — message queues.  Most of the
+  emulator's communication (NIC transmit queues, broker request queues,
+  consumer fetch responses) is built on stores.
+* :class:`Resource` — a counted resource with FIFO waiters, used to model
+  CPU cores and concurrent-connection limits.
+* :class:`Container` — a continuous quantity (e.g. producer buffer memory in
+  bytes) that processes can put into and get out of.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Generic, List, Optional, TypeVar
+
+from repro.simulation.events import Event
+
+T = TypeVar("T")
+
+
+class StorePut(Event):
+    """Event returned by :meth:`Store.put`; fires when the item is accepted."""
+
+    __slots__ = ("item",)
+
+    def __init__(self, store: "Store", item: Any) -> None:
+        super().__init__(store.sim)
+        self.item = item
+
+
+class StoreGet(Event):
+    """Event returned by :meth:`Store.get`; fires with the retrieved item."""
+
+    __slots__ = ()
+
+
+class Store(Generic[T]):
+    """An (optionally bounded) FIFO queue of items.
+
+    ``put`` events succeed immediately while the store has capacity and block
+    otherwise; ``get`` events succeed immediately while items are available.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: float = float("inf")) -> None:  # noqa: F821
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self.items: List[T] = []
+        self._put_queue: List[StorePut] = []
+        self._get_queue: List[StoreGet] = []
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def pending_gets(self) -> int:
+        return len(self._get_queue)
+
+    @property
+    def pending_puts(self) -> int:
+        return len(self._put_queue)
+
+    def put(self, item: T) -> StorePut:
+        event = StorePut(self, item)
+        self._put_queue.append(event)
+        self._trigger_puts()
+        self._trigger_gets()
+        return event
+
+    def get(self) -> StoreGet:
+        event = StoreGet(self.sim)
+        self._get_queue.append(event)
+        self._trigger_gets()
+        return event
+
+    def try_get(self) -> Optional[T]:
+        """Non-blocking get: pop an item if one is immediately available."""
+        if self.items:
+            item = self.items.pop(0)
+            self._trigger_puts()
+            return item
+        return None
+
+    def peek(self) -> Optional[T]:
+        return self.items[0] if self.items else None
+
+    # -- internal --------------------------------------------------------------
+    def _do_put(self, event: StorePut) -> bool:
+        if len(self.items) < self.capacity:
+            self.items.append(event.item)
+            event.succeed()
+            return True
+        return False
+
+    def _do_get(self, event: StoreGet) -> bool:
+        if self.items:
+            event.succeed(self.items.pop(0))
+            return True
+        return False
+
+    def _trigger_puts(self) -> None:
+        while self._put_queue:
+            event = self._put_queue[0]
+            if event.triggered:
+                self._put_queue.pop(0)
+                continue
+            if self._do_put(event):
+                self._put_queue.pop(0)
+            else:
+                break
+
+    def _trigger_gets(self) -> None:
+        while self._get_queue:
+            event = self._get_queue[0]
+            if event.triggered:
+                self._get_queue.pop(0)
+                continue
+            if self._do_get(event):
+                self._get_queue.pop(0)
+                self._trigger_puts()
+            else:
+                break
+
+
+class PriorityStore(Store[T]):
+    """A store that yields the smallest item first (items must be orderable)."""
+
+    def __init__(self, sim: "Simulator", capacity: float = float("inf")) -> None:  # noqa: F821
+        super().__init__(sim, capacity)
+        self._counter = count()
+
+    def _do_put(self, event: StorePut) -> bool:
+        if len(self.items) < self.capacity:
+            heapq.heappush(self.items, event.item)
+            event.succeed()
+            return True
+        return False
+
+    def _do_get(self, event: StoreGet) -> bool:
+        if self.items:
+            event.succeed(heapq.heappop(self.items))
+            return True
+        return False
+
+
+class ResourceRequest(Event):
+    """A pending or granted claim on a :class:`Resource`."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.sim)
+        self.resource = resource
+
+    def release(self) -> None:
+        self.resource.release(self)
+
+    def __enter__(self) -> "ResourceRequest":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+
+class Resource:
+    """A counted resource (e.g. CPU cores, connection slots)."""
+
+    def __init__(self, sim: "Simulator", capacity: int = 1) -> None:  # noqa: F821
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self.users: List[ResourceRequest] = []
+        self.queue: List[ResourceRequest] = []
+
+    @property
+    def in_use(self) -> int:
+        return len(self.users)
+
+    @property
+    def available(self) -> int:
+        return self.capacity - len(self.users)
+
+    def request(self) -> ResourceRequest:
+        event = ResourceRequest(self)
+        if len(self.users) < self.capacity:
+            self.users.append(event)
+            event.succeed()
+        else:
+            self.queue.append(event)
+        return event
+
+    def release(self, request: ResourceRequest) -> None:
+        if request in self.users:
+            self.users.remove(request)
+        elif request in self.queue:
+            self.queue.remove(request)
+            return
+        while self.queue and len(self.users) < self.capacity:
+            waiter = self.queue.pop(0)
+            self.users.append(waiter)
+            waiter.succeed()
+
+
+class ContainerPut(Event):
+    __slots__ = ("amount",)
+
+    def __init__(self, container: "Container", amount: float) -> None:
+        super().__init__(container.sim)
+        self.amount = amount
+
+
+class ContainerGet(Event):
+    __slots__ = ("amount",)
+
+    def __init__(self, container: "Container", amount: float) -> None:
+        super().__init__(container.sim)
+        self.amount = amount
+
+
+class Container:
+    """A continuous quantity with a maximum level.
+
+    Used to model producer buffer memory: a producer ``get``s buffer space
+    before enqueuing a record batch and the sender thread ``put``s it back
+    once the batch is acknowledged.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",  # noqa: F821
+        capacity: float = float("inf"),
+        initial: float = 0.0,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 <= initial <= capacity:
+            raise ValueError("initial level must lie within [0, capacity]")
+        self.sim = sim
+        self.capacity = capacity
+        self._level = initial
+        self._put_queue: List[ContainerPut] = []
+        self._get_queue: List[ContainerGet] = []
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def put(self, amount: float) -> ContainerPut:
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        event = ContainerPut(self, amount)
+        self._put_queue.append(event)
+        self._dispatch()
+        return event
+
+    def get(self, amount: float) -> ContainerGet:
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        if amount > self.capacity:
+            raise ValueError(
+                f"requested {amount} exceeds container capacity {self.capacity}"
+            )
+        event = ContainerGet(self, amount)
+        self._get_queue.append(event)
+        self._dispatch()
+        return event
+
+    def try_get(self, amount: float) -> bool:
+        """Non-blocking get: take ``amount`` if immediately available."""
+        if self._get_queue or amount > self._level:
+            return False
+        self._level -= amount
+        return True
+
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._put_queue:
+                event = self._put_queue[0]
+                if self._level + event.amount <= self.capacity:
+                    self._level += event.amount
+                    event.succeed()
+                    self._put_queue.pop(0)
+                    progressed = True
+            if self._get_queue:
+                event = self._get_queue[0]
+                if event.amount <= self._level:
+                    self._level -= event.amount
+                    event.succeed()
+                    self._get_queue.pop(0)
+                    progressed = True

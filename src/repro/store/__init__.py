@@ -1,0 +1,21 @@
+"""Data stores (MySQL / RocksDB / MongoDB substitutes).
+
+Two storage engines are provided:
+
+* :class:`KeyValueStore` — an embedded, in-memory key-value store with
+  optional persistence bookkeeping, standing in for RocksDB-style embedded
+  state stores;
+* :class:`TableStore` — a row store with named tables and simple filtered
+  queries, standing in for the MySQL instance used by the paper's maritime
+  monitoring application.
+
+Either engine can be exposed over the emulated network as a
+:class:`StoreServer`, with :class:`StoreClient` providing the remote API used
+by stream processing sinks.
+"""
+
+from repro.store.kvstore import KeyValueStore
+from repro.store.table import Row, TableStore
+from repro.store.server import StoreClient, StoreServer
+
+__all__ = ["KeyValueStore", "TableStore", "Row", "StoreServer", "StoreClient"]

@@ -1,0 +1,30 @@
+"""Producer and consumer stubs.
+
+stream2gym ships a repository of standard data source / data sink stubs so
+that developers can ingest data into (and extract data from) their pipelines
+without writing client code.  The reproduction provides the same stubs as
+library classes: file-replay and directory producers, constant-bitrate random
+producers, and standard / file / store-backed consumers.
+"""
+
+from repro.stubs.producers import (
+    DirectoryProducerStub,
+    RandomRateProducerStub,
+    ReplayProducerStub,
+    SFSTProducerStub,
+)
+from repro.stubs.consumers import (
+    FileSinkConsumerStub,
+    StandardConsumerStub,
+    StoreSinkConsumerStub,
+)
+
+__all__ = [
+    "SFSTProducerStub",
+    "DirectoryProducerStub",
+    "RandomRateProducerStub",
+    "ReplayProducerStub",
+    "StandardConsumerStub",
+    "FileSinkConsumerStub",
+    "StoreSinkConsumerStub",
+]

@@ -1,0 +1,32 @@
+"""Synthetic workload generators.
+
+The paper's example applications consume real datasets (text corpora, taxi
+ride logs, Tweet streams, AIS ship reports, financial transactions, MNIST
+frames, enterprise packet traces).  None of those are available offline, so
+this package generates synthetic equivalents with the same schema and the
+statistical properties the pipelines care about (word distributions,
+geo-coordinates and fares, message sizes, Poisson traffic, labelled anomalous
+transactions).  Every generator is seeded and deterministic.
+"""
+
+from repro.workloads.text import generate_documents, generate_sentences, VOCABULARY
+from repro.workloads.rides import generate_rides
+from repro.workloads.tweets import generate_tweets
+from repro.workloads.ais import generate_ais_messages, PORTS
+from repro.workloads.transactions import generate_transactions
+from repro.workloads.images import generate_frames
+from repro.workloads.nettraffic import generate_user_traffic, SERVICES
+
+__all__ = [
+    "generate_documents",
+    "generate_sentences",
+    "generate_rides",
+    "generate_tweets",
+    "generate_ais_messages",
+    "generate_transactions",
+    "generate_frames",
+    "generate_user_traffic",
+    "VOCABULARY",
+    "PORTS",
+    "SERVICES",
+]

@@ -1,0 +1,60 @@
+"""Synthetic AIS ship-tracking reports (maritime-monitoring workload)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.simulation.rng import SeededRandom
+
+#: Destination ports of interest with their coordinates.
+PORTS = {
+    "halifax": (44.6476, -63.5728),
+    "saint-john": (45.2733, -66.0633),
+    "montreal": (45.5017, -73.5673),
+    "boston": (42.3601, -71.0589),
+    "new-york": (40.7128, -74.0060),
+}
+
+SHIP_TYPES = ["cargo", "tanker", "fishing", "passenger", "tug"]
+
+
+def generate_ais_messages(
+    n_messages: int, n_ships: int = 50, seed: int = 0
+) -> List[Dict]:
+    """Generate AIS position reports.
+
+    Each report carries the ship identity (MMSI), type, current position,
+    speed/heading and the destination port — the fields the maritime
+    monitoring query (count ships heading to watched ports per window) needs.
+    """
+    if n_messages <= 0:
+        raise ValueError("n_messages must be positive")
+    if n_ships <= 0:
+        raise ValueError("n_ships must be positive")
+    rng = SeededRandom(seed)
+    ports = list(PORTS)
+    ships = [
+        {
+            "mmsi": 316000000 + index,
+            "type": rng.choice(SHIP_TYPES),
+            "destination": ports[rng.zipf_index(len(ports), 0.6)],
+        }
+        for index in range(n_ships)
+    ]
+    messages = []
+    for index in range(n_messages):
+        ship = ships[index % n_ships]
+        port_lat, port_lon = PORTS[ship["destination"]]
+        messages.append(
+            {
+                "msg_id": index,
+                "mmsi": ship["mmsi"],
+                "ship_type": ship["type"],
+                "lat": round(port_lat + rng.gauss(0, 2.0), 5),
+                "lon": round(port_lon + rng.gauss(0, 2.0), 5),
+                "speed_knots": round(max(0.0, rng.gauss(12, 4)), 1),
+                "heading": rng.randint(0, 359),
+                "destination": ship["destination"],
+            }
+        )
+    return messages

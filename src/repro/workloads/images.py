@@ -1,0 +1,35 @@
+"""Synthetic image frames (video-analytics reproduction, Ichinose et al.).
+
+The original experiment streams MNIST images through Kafka.  The pipelines
+only care about the *size* and count of the frames (28x28 greyscale = 784
+bytes per image plus a small header), so the generator produces byte payload
+descriptors rather than actual pixel data, keeping large experiments cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.simulation.rng import SeededRandom
+
+#: 28 x 28 single-channel pixels.
+MNIST_FRAME_BYTES = 28 * 28
+FRAME_HEADER_BYTES = 24
+
+
+def generate_frames(n_frames: int, seed: int = 0, frame_bytes: int = MNIST_FRAME_BYTES) -> List[Dict]:
+    """Generate frame descriptors: id, label, and payload size in bytes."""
+    if n_frames <= 0:
+        raise ValueError("n_frames must be positive")
+    if frame_bytes <= 0:
+        raise ValueError("frame_bytes must be positive")
+    rng = SeededRandom(seed)
+    return [
+        {
+            "frame_id": index,
+            "label": rng.randint(0, 9),
+            "camera": f"cam-{index % 4}",
+            "size": frame_bytes + FRAME_HEADER_BYTES,
+        }
+        for index in range(n_frames)
+    ]

@@ -1,0 +1,73 @@
+"""Synthetic enterprise network traffic (traffic-monitoring reproduction).
+
+Ocampo et al. evaluate a Spark-based traffic monitoring system by scaling the
+number of concurrent users, each generating traffic towards a fixed set of
+services following a Poisson process.  This generator reproduces that load
+model: per-user Poisson packet arrivals, service mix, and flow 5-tuples, in
+one-second slots (the monitoring system's processing window).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.simulation.rng import SeededRandom, deterministic_hash
+
+#: Services a user talks to, with (port, mean packet size, relative weight).
+SERVICES = {
+    "web": (443, 900, 0.45),
+    "dns": (53, 120, 0.20),
+    "ftp": (21, 1200, 0.10),
+    "mail": (25, 600, 0.10),
+    "ssh": (22, 300, 0.05),
+    "video": (8080, 1300, 0.10),
+}
+
+
+def generate_user_traffic(
+    n_users: int,
+    duration_s: int = 10,
+    packets_per_user_per_s: float = 25.0,
+    seed: int = 0,
+) -> List[List[Dict]]:
+    """Generate per-second slots of packet records for ``n_users`` users.
+
+    Returns a list with one entry per second; each entry is the list of packet
+    records captured during that second across all users.
+    """
+    if n_users <= 0:
+        raise ValueError("n_users must be positive")
+    if duration_s <= 0:
+        raise ValueError("duration_s must be positive")
+    rng = SeededRandom(seed)
+    service_names = list(SERVICES)
+    weights = [SERVICES[name][2] for name in service_names]
+    total_weight = sum(weights)
+    slots: List[List[Dict]] = []
+    for second in range(duration_s):
+        slot: List[Dict] = []
+        for user in range(n_users):
+            count = rng.poisson(packets_per_user_per_s)
+            for _ in range(count):
+                roll = rng.random() * total_weight
+                accumulator = 0.0
+                service = service_names[-1]
+                for name, weight in zip(service_names, weights):
+                    accumulator += weight
+                    if roll <= accumulator:
+                        service = name
+                        break
+                port, mean_size, _ = SERVICES[service]
+                slot.append(
+                    {
+                        "ts": second + rng.random(),
+                        "src_ip": f"10.1.{user // 250}.{user % 250 + 1}",
+                        "dst_ip": f"192.168.0.{(deterministic_hash(service) % 200) + 1}",
+                        "dst_port": port,
+                        "service": service,
+                        "size": max(64, int(rng.gauss(mean_size, mean_size * 0.2))),
+                        "user": user,
+                    }
+                )
+        slots.append(slot)
+    return slots

@@ -1,0 +1,49 @@
+"""Synthetic taxi ride stream (ride-selection workload)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.simulation.rng import SeededRandom
+
+#: City areas with (centre latitude, centre longitude, tip multiplier).
+AREAS = {
+    "downtown": (44.6488, -63.5752, 1.6),
+    "airport": (44.8808, -63.5086, 1.3),
+    "university": (44.6366, -63.5917, 1.1),
+    "harbour": (44.6455, -63.5672, 1.4),
+    "suburbs": (44.6700, -63.6500, 0.8),
+}
+
+
+def generate_rides(n_rides: int, seed: int = 0) -> List[Dict]:
+    """Generate structured taxi ride records.
+
+    Each record has pickup coordinates, an area label, fare and tip values —
+    the fields the ride-selection query (join + groupby + window over tipping
+    areas) consumes.
+    """
+    if n_rides <= 0:
+        raise ValueError("n_rides must be positive")
+    rng = SeededRandom(seed)
+    areas = list(AREAS)
+    rides = []
+    for index in range(n_rides):
+        area = areas[rng.zipf_index(len(areas), 0.7)]
+        lat, lon, tip_multiplier = AREAS[area]
+        distance_km = max(0.5, rng.lognormal(1.0, 0.6))
+        fare = round(3.5 + 1.8 * distance_km, 2)
+        tip = round(max(0.0, rng.gauss(0.15, 0.08)) * fare * tip_multiplier, 2)
+        rides.append(
+            {
+                "ride_id": f"ride-{index:06d}",
+                "area": area,
+                "pickup_lat": round(lat + rng.gauss(0, 0.01), 6),
+                "pickup_lon": round(lon + rng.gauss(0, 0.01), 6),
+                "distance_km": round(distance_km, 2),
+                "fare": fare,
+                "tip": tip,
+                "passenger_count": rng.randint(1, 4),
+            }
+        )
+    return rides

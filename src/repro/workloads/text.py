@@ -1,0 +1,61 @@
+"""Synthetic text documents (word-count and document-analytics workloads)."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.simulation.rng import SeededRandom
+
+#: A small Zipf-weighted vocabulary; frequent words first.
+VOCABULARY = [
+    "the", "of", "and", "to", "in", "a", "is", "that", "for", "it",
+    "stream", "data", "processing", "system", "network", "broker", "latency",
+    "message", "topic", "partition", "replica", "consumer", "producer",
+    "cluster", "pipeline", "engine", "query", "window", "state", "event",
+    "monitor", "failure", "test", "application", "node", "switch", "link",
+    "throughput", "bandwidth", "delay", "emulation", "prototype", "analysis",
+    "distributed", "scalable", "fault", "tolerance", "record", "offset",
+]
+
+TOPICS = ["systems", "networking", "databases", "ml", "security"]
+
+
+def generate_sentences(n_sentences: int, seed: int = 0, words_per_sentence: int = 12) -> List[str]:
+    """Generate Zipf-flavoured sentences."""
+    rng = SeededRandom(seed)
+    sentences = []
+    for _ in range(n_sentences):
+        length = max(3, int(rng.gauss(words_per_sentence, 3)))
+        words = [VOCABULARY[rng.zipf_index(len(VOCABULARY), 1.1)] for _ in range(length)]
+        sentences.append(" ".join(words))
+    return sentences
+
+
+def generate_documents(
+    n_documents: int,
+    seed: int = 0,
+    sentences_per_document: int = 8,
+) -> List[Tuple[str, dict]]:
+    """Generate ``(file_name, document)`` pairs.
+
+    Each document is a dictionary with a ``text`` body, a ``topic`` label and
+    a ``doc_id``, matching the document analytics pipeline of Figure 2 (word
+    count per document, average document length per topic).
+    """
+    if n_documents <= 0:
+        raise ValueError("n_documents must be positive")
+    rng = SeededRandom(seed)
+    documents = []
+    for index in range(n_documents):
+        n_sentences = max(1, int(rng.gauss(sentences_per_document, 2)))
+        text = ". ".join(
+            generate_sentences(1, seed=seed * 10_007 + index * 101 + s)[0]
+            for s in range(n_sentences)
+        )
+        document = {
+            "doc_id": f"doc-{index:05d}",
+            "topic": TOPICS[rng.zipf_index(len(TOPICS), 0.8)],
+            "text": text,
+        }
+        documents.append((f"doc-{index:05d}.txt", document))
+    return documents

@@ -1,0 +1,53 @@
+"""Synthetic Tweet stream (sentiment-analysis workload)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.simulation.rng import SeededRandom
+
+POSITIVE_PHRASES = [
+    "love this amazing launch", "great performance today", "what a wonderful result",
+    "really happy with the service", "excellent work by the team", "fantastic news",
+]
+NEGATIVE_PHRASES = [
+    "terrible outage again", "awful latency tonight", "really disappointed with this",
+    "worst release so far", "this bug is horrible", "completely broken experience",
+]
+NEUTRAL_PHRASES = [
+    "the meeting is at noon", "deploying the new build", "reading the documentation",
+    "the dashboard shows numbers", "monitoring the pipeline", "restarting the service",
+]
+OPINION_MARKERS = ["i think", "i feel", "in my opinion", "honestly", "personally"]
+
+
+def generate_tweets(n_tweets: int, seed: int = 0) -> List[Dict]:
+    """Generate unstructured tweet-like messages with a known sentiment mix."""
+    if n_tweets <= 0:
+        raise ValueError("n_tweets must be positive")
+    rng = SeededRandom(seed)
+    tweets = []
+    for index in range(n_tweets):
+        roll = rng.random()
+        if roll < 0.35:
+            body = rng.choice(POSITIVE_PHRASES)
+            label = "positive"
+        elif roll < 0.65:
+            body = rng.choice(NEGATIVE_PHRASES)
+            label = "negative"
+        else:
+            body = rng.choice(NEUTRAL_PHRASES)
+            label = "neutral"
+        subjective = rng.random() < 0.5
+        if subjective:
+            body = f"{rng.choice(OPINION_MARKERS)} {body}"
+        tweets.append(
+            {
+                "tweet_id": f"tw-{index:07d}",
+                "user": f"user{rng.randint(1, 5000)}",
+                "text": body,
+                "true_sentiment": label,
+                "true_subjective": subjective,
+            }
+        )
+    return tweets

@@ -1,0 +1,126 @@
+"""End-to-end tests of the five Table II example applications."""
+
+import pytest
+
+from repro.apps import (
+    create_fraud_task,
+    create_maritime_task,
+    create_ride_selection_task,
+    create_sentiment_task,
+    create_word_count_task,
+    run_fraud_detection,
+    run_maritime_monitoring,
+    run_ride_selection,
+    run_sentiment_analysis,
+    run_word_count,
+)
+from repro.core.registry import app_builder, registered_apps
+
+
+class TestTaskDescriptions:
+    """Table II: component counts and features of each bundled application."""
+
+    def test_word_count_has_five_components(self):
+        task = create_word_count_task()
+        assert task.component_count() == 5
+        assert task.validate() == []
+        # Multiple stream processing jobs is the word-count feature.
+        assert len(task.nodes_with("streamProcType")) == 2
+
+    def test_ride_selection_has_five_components(self):
+        task = create_ride_selection_task()
+        assert task.component_count() == 5
+        assert task.validate() == []
+
+    def test_sentiment_analysis_has_three_components(self):
+        task = create_sentiment_task()
+        assert task.component_count() == 3
+        assert task.validate() == []
+
+    def test_maritime_monitoring_has_four_components(self):
+        task = create_maritime_task()
+        assert task.component_count() == 4
+        assert task.validate() == []
+        assert len(task.nodes_with("storeType")) == 1
+
+    def test_fraud_detection_has_five_components(self):
+        task = create_fraud_task()
+        assert task.component_count() == 5
+        assert task.validate() == []
+
+    def test_all_apps_registered(self):
+        names = registered_apps()
+        for expected in (
+            "word_count",
+            "avg_doc_length",
+            "ride_selection",
+            "sentiment_analysis",
+            "maritime_monitoring",
+            "fraud_detection",
+        ):
+            assert expected in names
+            assert callable(app_builder(expected))
+
+    def test_unknown_app_raises(self):
+        with pytest.raises(KeyError):
+            app_builder("definitely-not-an-app")
+
+
+class TestWordCount:
+    def test_end_to_end(self):
+        result = run_word_count(n_documents=20, duration=45.0, seed=1, files_per_second=5.0)
+        assert result.messages_produced >= 20
+        # The sink subscribes to both derived topics, so it should see at
+        # least one word-count summary per document.
+        assert result.messages_consumed >= 20
+        assert result.acked_but_lost == 0
+        assert result.spe_metrics["h3"]["input_records"] == 20
+        assert result.spe_metrics["h4"]["input_records"] >= 1
+
+
+class TestRideSelection:
+    def test_end_to_end_ranking(self):
+        result = run_ride_selection(n_rides=60, duration=45.0, seed=2, rides_per_second=10.0)
+        assert result.spe_metrics["h4"]["input_records"] == 60
+        ranking = result.extras.get("area_ranking")
+        assert ranking, "expected a non-empty tipping-area ranking"
+        areas = [area for area, _ in ranking]
+        assert set(areas) <= {"downtown", "airport", "university", "harbour", "suburbs"}
+        tips = [entry["avg_tip"] for _, entry in ranking]
+        assert tips == sorted(tips, reverse=True)
+
+
+class TestSentimentAnalysis:
+    def test_end_to_end_scoring(self):
+        result = run_sentiment_analysis(n_tweets=80, duration=40.0, seed=3, tweets_per_second=20.0)
+        assert result.extras["scored_tweets"] == 80
+        labels = result.extras["label_counts"]
+        assert labels.get("positive", 0) > 0
+        assert labels.get("negative", 0) > 0
+
+
+class TestMaritimeMonitoring:
+    def test_end_to_end_persistence(self):
+        result = run_maritime_monitoring(
+            n_messages=120, duration=45.0, seed=4, messages_per_second=20.0
+        )
+        per_port = result.extras["ships_per_port"]
+        assert per_port, "expected per-port ship counts in the store"
+        assert set(per_port) <= {"halifax", "boston"}
+        assert all(count > 0 for count in per_port.values())
+        assert result.extras["store_operations"] > 0
+
+
+class TestFraudDetection:
+    def test_end_to_end_alerts(self):
+        result = run_fraud_detection(
+            n_transactions=150,
+            duration=45.0,
+            seed=5,
+            fraud_rate=0.2,
+            transactions_per_second=20.0,
+        )
+        assert result.extras["actual_frauds_in_stream"] > 0
+        assert result.extras["alerts"] > 0
+        # The classifier should catch a decent share of the injected fraud.
+        assert result.extras["true_positive_alerts"] >= result.extras["actual_frauds_in_stream"] * 0.5

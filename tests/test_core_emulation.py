@@ -1,0 +1,191 @@
+"""End-to-end tests of the Emulation orchestrator and the monitoring stack."""
+
+import pytest
+
+from repro.core import Emulation
+from repro.core.configs import FaultSpec, TopicSpec
+from repro.core.monitoring import EventLog, LatencyTracker
+from repro.core.resources import HostResourceModel, ServerSpec
+from repro.core.task import TaskDescription
+from repro.core.visualization import (
+    cdf,
+    moving_average,
+    percentile,
+    render_series_text,
+    summarize_distribution,
+)
+from repro.network.topology import star_topology
+from repro.simulation import Simulator
+
+
+def simple_task(n_messages=30, rate=10.0, latency=5.0, replicas=1):
+    """Producer -> broker -> consumer behind one switch."""
+    task = TaskDescription("simple")
+    task.add_node(
+        "h1",
+        prodType="SFST",
+        prodCfg={
+            "topicName": "events",
+            "filePath": "events",
+            "totalMessages": n_messages,
+            "messagesPerSecond": rate,
+        },
+    )
+    task.add_node("h2", brokerCfg={"coordinator": True})
+    task.add_node("h3", consType="STANDARD", consCfg={"topics": ["events"]})
+    task.add_switch("s1")
+    for host in ("h1", "h2", "h3"):
+        task.add_link(host, "s1", lat=latency, bw=100.0)
+    task.set_topics([TopicSpec(name="events", replicas=replicas, primary_broker="h2")])
+    return task
+
+
+class TestEmulationLifecycle:
+    def test_build_creates_all_components(self):
+        emulation = Emulation(simple_task(), seed=1).build()
+        assert len(emulation.network.hosts) == 3
+        assert len(emulation.network.switches) == 1
+        assert emulation.cluster is not None
+        assert set(emulation.producers) == {"h1"}
+        assert set(emulation.consumers) == {"h3"}
+
+    def test_run_delivers_messages_end_to_end(self):
+        emulation = Emulation(simple_task(n_messages=25), seed=1)
+        result = emulation.run(duration=40.0)
+        assert result.messages_produced == 25
+        assert result.messages_consumed == 25
+        assert result.acked_but_lost == 0
+        assert result.latency_summary["mean"] > 0
+        assert result.latency_summary["count"] == 25
+
+    def test_dataset_contents_are_delivered(self):
+        emulation = Emulation(
+            simple_task(n_messages=5, rate=5.0),
+            seed=2,
+            datasets={"events": ["alpha", "beta", "gamma", "delta", "epsilon"]},
+        )
+        emulation.run(duration=30.0)
+        sink = emulation.consumers["h3"]
+        values = [record.value for record in sink.records]
+        assert values == ["alpha", "beta", "gamma", "delta", "epsilon"]
+
+    def test_invalid_task_rejected_at_construction(self):
+        task = simple_task()
+        task.add_link("h1", "ghost")
+        with pytest.raises(ValueError):
+            Emulation(task)
+
+    def test_emulation_from_graphml_string(self):
+        from repro.core.graphml import to_graphml
+
+        text = to_graphml(simple_task(n_messages=5, rate=5.0))
+        emulation = Emulation(text, seed=3)
+        result = emulation.run(duration=30.0)
+        assert result.messages_consumed == 5
+
+    def test_run_twice_rejected(self):
+        emulation = Emulation(simple_task(n_messages=3, rate=5.0), seed=1)
+        emulation.run(duration=20.0)
+        with pytest.raises(RuntimeError):
+            emulation.run(duration=20.0)
+
+    def test_accessors_require_build(self):
+        emulation = Emulation(simple_task())
+        with pytest.raises(RuntimeError):
+            _ = emulation.network
+
+    def test_resource_report_collected(self):
+        emulation = Emulation(simple_task(n_messages=10), seed=1)
+        result = emulation.run(duration=30.0)
+        assert len(result.resource_report.samples) > 10
+        assert 0 < result.resource_report.median_cpu() < 100
+        assert 0 < result.resource_report.peak_memory() < 100
+
+    def test_event_log_contains_lifecycle_events(self):
+        emulation = Emulation(simple_task(n_messages=5, rate=5.0), seed=1)
+        result = emulation.run(duration=25.0)
+        events = [entry.event for entry in result.event_log.events]
+        assert "built" in events
+        assert "clients-started" in events
+        assert "finished" in events
+        assert any(entry.component == "coordinator" for entry in result.event_log.events)
+
+    def test_latency_grows_with_link_delay(self):
+        fast = Emulation(simple_task(n_messages=15, latency=2.0), seed=4).run(duration=35.0)
+        slow = Emulation(simple_task(n_messages=15, latency=80.0), seed=4).run(duration=35.0)
+        assert slow.latency_summary["mean"] > fast.latency_summary["mean"] * 3
+
+    def test_fault_injection_from_task_description(self):
+        task = simple_task(n_messages=60, rate=2.0, replicas=1)
+        task.set_faults(
+            [FaultSpec(kind="node_disconnect", targets=["h1"], start=20.0, duration=10.0)]
+        )
+        emulation = Emulation(task, seed=5)
+        result = emulation.run(duration=60.0)
+        actions = [event.action for event in emulation.fault_injector.history()]
+        assert "node-disconnect" in actions
+        assert "node-reconnect" in actions
+        # The producer was cut off for a while, so delivery keeps working
+        # afterwards and nothing is lost silently (acks retry through).
+        assert result.messages_consumed > 0
+
+
+class TestMonitoringPrimitives:
+    def test_event_log_queries(self):
+        log = EventLog()
+        log.record(1.0, "broker", "leader-elected", partition="t-0")
+        log.record(2.0, "emulation", "finished")
+        assert len(log) == 2
+        assert log.by_component("broker")[0].event == "leader-elected"
+        assert log.by_event("finished")[0].time == 2.0
+        assert len(log.between(0.5, 1.5)) == 1
+        assert [e.time for e in log.sorted()] == [1.0, 2.0]
+
+    def test_latency_tracker_statistics(self):
+        tracker = LatencyTracker()
+        for value in [0.1, 0.2, 0.3, 0.4, 1.0]:
+            tracker.observe(time=1.0, latency=value, topic="a")
+        assert tracker.mean("a") == pytest.approx(0.4)
+        assert tracker.maximum() == 1.0
+        assert tracker.percentile(0.5) == pytest.approx(0.3)
+        with pytest.raises(ValueError):
+            tracker.observe(1.0, -1.0)
+        with pytest.raises(ValueError):
+            tracker.percentile(2.0)
+
+    def test_visualization_helpers(self):
+        points = cdf([3.0, 1.0, 2.0])
+        assert points[0] == (1.0, pytest.approx(1 / 3))
+        assert points[-1] == (3.0, pytest.approx(1.0))
+        assert percentile([1, 2, 3, 4], 0.5) == 3 or percentile([1, 2, 3, 4], 0.5) == 2
+        summary = summarize_distribution([1.0, 2.0, 3.0])
+        assert summary["count"] == 3
+        assert summary["mean"] == pytest.approx(2.0)
+        smoothed = moving_average([(0, 0.0), (1, 10.0)], window=2)
+        assert smoothed[1][1] == pytest.approx(5.0)
+        text = render_series_text([(0, 1.0), (1, 2.0)], label="demo")
+        assert "demo" in text
+
+    def test_resource_model_scales_with_components(self):
+        sim = Simulator(seed=1)
+        network_small, _ = star_topology(sim, 2)
+        model_small = HostResourceModel(network_small, server=ServerSpec())
+        sample_small = model_small.sample()
+
+        sim2 = Simulator(seed=1)
+        network_large, _ = star_topology(sim2, 10)
+        model_large = HostResourceModel(network_large, server=ServerSpec())
+        sample_large = model_large.sample()
+        assert sample_large.cpu_percent > sample_small.cpu_percent
+        assert sample_large.memory_percent > sample_small.memory_percent
+
+    def test_resource_report_cdf_and_fraction(self):
+        from repro.core.resources import ResourceReport, ResourceSample
+
+        report = ResourceReport(
+            samples=[ResourceSample(time=i, cpu_percent=float(i), memory_percent=10.0) for i in range(1, 11)]
+        )
+        assert report.median_cpu() == pytest.approx(5.5)
+        assert report.fraction_below(5.0) == pytest.approx(0.5)
+        assert report.cpu_cdf()[-1][1] == pytest.approx(1.0)
+        assert report.peak_memory() == 10.0

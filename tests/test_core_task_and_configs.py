@@ -1,0 +1,238 @@
+"""Tests for Table I attributes, YAML configs, task descriptions and GraphML parsing."""
+
+import pytest
+
+from repro.core.attributes import (
+    validate_link_attributes,
+    validate_node_attributes,
+)
+from repro.core.configs import (
+    ConsumerStubConfig,
+    FaultSpec,
+    ProducerStubConfig,
+    SPEAppConfig,
+    TopicSpec,
+    _duration_to_seconds,
+    _size_to_bytes,
+    parse_faults_config,
+    parse_topics_config,
+)
+from repro.core.graphml import parse_graphml_string, to_graphml
+from repro.core.task import TaskDescription
+
+
+class TestAttributeValidation:
+    def test_unknown_node_attribute_flagged(self):
+        problems = validate_node_attributes({"bogusAttr": 1})
+        assert any("unknown node attribute" in problem for problem in problems)
+
+    def test_valid_node_attributes_pass(self):
+        problems = validate_node_attributes(
+            {"prodType": "SFST", "prodCfg": {}, "cpuPercentage": 50}
+        )
+        assert problems == []
+
+    def test_bad_producer_type_flagged(self):
+        problems = validate_node_attributes({"prodType": "NOT_A_TYPE"})
+        assert any("producer type" in problem for problem in problems)
+
+    def test_bad_cpu_percentage_flagged(self):
+        assert validate_node_attributes({"cpuPercentage": 150})
+        assert validate_node_attributes({"cpuPercentage": "many"})
+
+    def test_link_attribute_validation(self):
+        assert validate_link_attributes({"lat": 10, "bw": 100, "loss": 1}) == []
+        assert validate_link_attributes({"lat": -1})
+        assert validate_link_attributes({"loss": 200})
+        assert validate_link_attributes({"weird": 1})
+
+
+class TestConfigParsing:
+    def test_size_parsing(self):
+        assert _size_to_bytes("32m", 0) == 32 * 1024**2
+        assert _size_to_bytes("16MB", 0) == 16 * 1024**2
+        assert _size_to_bytes("1g", 0) == 1024**3
+        assert _size_to_bytes(4096, 0) == 4096
+        assert _size_to_bytes(None, 7) == 7
+
+    def test_duration_parsing(self):
+        assert _duration_to_seconds("2000ms", 0) == pytest.approx(2.0)
+        assert _duration_to_seconds("1.5s", 0) == pytest.approx(1.5)
+        assert _duration_to_seconds(3, 0) == 3.0
+        assert _duration_to_seconds(None, 9.0) == 9.0
+
+    def test_producer_stub_config_from_paper_example(self):
+        # Figure 3a of the paper.
+        config = ProducerStubConfig.from_dict(
+            {
+                "filePath": "test-data.csv",
+                "topicName": "raw-data",
+                "totalMessages": 1000,
+                "requestTimeout": "2000ms",
+                "bufferMemory": "32m",
+            }
+        )
+        assert config.topic == "raw-data"
+        assert config.total_messages == 1000
+        assert config.request_timeout == pytest.approx(2.0)
+        assert config.buffer_memory == 32 * 1024**2
+
+    def test_spe_config_from_paper_example(self):
+        # Figure 3b of the paper.
+        config = SPEAppConfig.from_dict(
+            {"app": "word-count.py", "executorMemory": "1g", "eventLog": True}
+        )
+        assert config.app == "word_count"
+        assert config.executor_memory == 1024**3
+        assert config.event_log is True
+
+    def test_consumer_config_single_topic_string(self):
+        config = ConsumerStubConfig.from_dict({"topicName": "alerts"})
+        assert config.topics == ["alerts"]
+
+    def test_topic_spec_parsing(self):
+        topics = parse_topics_config(
+            {"topics": [{"name": "tA", "replicas": 3, "primaryBroker": "h2"}]}
+        )
+        assert topics[0].name == "tA"
+        assert topics[0].replicas == 3
+        assert topics[0].primary_broker == "h2"
+
+    def test_fault_spec_parsing(self):
+        faults = parse_faults_config(
+            [{"type": "node_disconnect", "nodes": "h3", "start": "30s", "duration": 120}]
+        )
+        assert faults[0].kind == "node_disconnect"
+        assert faults[0].targets == ["h3"]
+        assert faults[0].start == pytest.approx(30.0)
+        assert faults[0].duration == pytest.approx(120.0)
+
+    def test_empty_configs(self):
+        assert parse_topics_config(None) == []
+        assert parse_faults_config(None) == []
+        assert ProducerStubConfig.from_dict({}).topic == "raw-data"
+
+
+class TestTaskDescription:
+    def _small_task(self):
+        task = TaskDescription("t")
+        task.add_node("h1", prodType="SFST", prodCfg={"topicName": "a"})
+        task.add_node("h2", brokerCfg={})
+        task.add_node("h3", consType="STANDARD", consCfg={"topics": ["a"]})
+        task.add_switch("s1")
+        for host in ("h1", "h2", "h3"):
+            task.add_link(host, "s1", lat=5.0, bw=100.0)
+        task.set_topics([TopicSpec(name="a")])
+        return task
+
+    def test_component_count(self):
+        task = self._small_task()
+        assert task.component_count() == 3
+        assert len(task.hosts()) == 3
+        assert len(task.switches()) == 1
+
+    def test_valid_task_passes_validation(self):
+        assert self._small_task().validate() == []
+
+    def test_duplicate_node_rejected(self):
+        task = TaskDescription()
+        task.add_node("h1")
+        with pytest.raises(ValueError):
+            task.add_node("h1")
+
+    def test_link_to_unknown_node_detected(self):
+        task = self._small_task()
+        task.add_link("h1", "ghost")
+        assert any("unknown node" in problem for problem in task.validate())
+
+    def test_topics_without_brokers_detected(self):
+        task = TaskDescription()
+        task.add_node("h1", prodType="SFST")
+        task.set_topics([TopicSpec(name="x")])
+        problems = task.validate()
+        assert any("no node hosts a broker" in problem for problem in problems)
+
+    def test_replication_exceeding_brokers_detected(self):
+        task = self._small_task()
+        task.set_topics([TopicSpec(name="a", replicas=5)])
+        assert any("replicas" in problem for problem in task.validate())
+
+    def test_require_valid_raises(self):
+        task = self._small_task()
+        task.add_link("h1", "ghost")
+        with pytest.raises(ValueError):
+            task.require_valid()
+
+    def test_faults_roundtrip(self):
+        task = self._small_task()
+        task.set_faults([FaultSpec(kind="node_disconnect", targets=["h2"], start=10, duration=5)])
+        assert task.faults[0].targets == ["h2"]
+        assert task.faults[0].duration == 5
+
+    def test_summary(self):
+        summary = self._small_task().summary()
+        assert summary["hosts"] == 3
+        assert summary["components"] == 3
+        assert summary["topics"] == ["a"]
+
+
+class TestGraphML:
+    PAPER_STYLE_DOC = """<?xml version="1.0" encoding="UTF-8"?>
+    <graphml xmlns="http://graphml.graphdrawing.org/xmlns">
+      <graph edgedefault="undirected">
+        <data key="topicCfg">{topics: [{name: raw-data, replicas: 1, primaryBroker: h2}]}</data>
+        <node id="h1">
+          <data key="prodType">SFST</data>
+          <data key="prodCfg">{topicName: raw-data, totalMessages: 50}</data>
+        </node>
+        <node id="h2">
+          <data key="brokerCfg">{coordinator: true}</data>
+        </node>
+        <node id="h3">
+          <data key="streamProcType">SPARK</data>
+          <data key="streamProcCfg">{app: word_count, inputTopics: [raw-data]}</data>
+        </node>
+        <node id="h5">
+          <data key="consType">STANDARD</data>
+          <data key="consCfg">{topics: [raw-data]}</data>
+        </node>
+        <node id="s1"/>
+        <edge source="s1" target="h1">
+          <data key="st">1</data>
+          <data key="dt">1</data>
+          <data key="lat">50</data>
+        </edge>
+        <edge source="s1" target="h2"><data key="lat">5</data></edge>
+        <edge source="s1" target="h3"><data key="lat">5</data></edge>
+        <edge source="s1" target="h5"><data key="lat">5</data></edge>
+      </graph>
+    </graphml>
+    """
+
+    def test_parse_paper_style_document(self):
+        task = parse_graphml_string(self.PAPER_STYLE_DOC)
+        assert set(task.nodes) == {"h1", "h2", "h3", "h5", "s1"}
+        assert task.nodes["s1"].is_switch
+        assert task.nodes["h1"].attribute("prodType") == "SFST"
+        assert task.nodes["h1"].attribute("prodCfg")["totalMessages"] == 50
+        assert task.topics[0].name == "raw-data"
+        assert len(task.links) == 4
+        first_link = task.links[0]
+        assert first_link.latency_ms == 50.0
+        assert first_link.source_port == 1
+
+    def test_parse_rejects_documents_without_graph(self):
+        with pytest.raises(ValueError):
+            parse_graphml_string("<graphml></graphml>")
+
+    def test_roundtrip_through_graphml_text(self):
+        original = parse_graphml_string(self.PAPER_STYLE_DOC)
+        text = to_graphml(original)
+        parsed = parse_graphml_string(text)
+        assert set(parsed.nodes) == set(original.nodes)
+        assert len(parsed.links) == len(original.links)
+        assert parsed.topics[0].name == original.topics[0].name
+
+    def test_validation_of_parsed_document(self):
+        task = parse_graphml_string(self.PAPER_STYLE_DOC)
+        assert task.validate() == []

@@ -1,0 +1,321 @@
+"""Tests for the controller, topologies, fault injection and transport layer."""
+
+import pytest
+
+from repro.network import LinkConfig, Network, RequestTimeout, RemoteError, Transport
+from repro.network.faults import FaultInjector, LinkFault, NodeDisconnection
+from repro.network.topology import (
+    TopologyBuilder,
+    linear_topology,
+    one_big_switch,
+    star_topology,
+)
+from repro.network.transport import Request, Response
+from repro.simulation import Simulator
+
+
+class TestController:
+    def test_routes_installed_for_all_hosts(self):
+        sim = Simulator()
+        net = one_big_switch(sim, ["h1", "h2", "h3"])
+        switch = net.switches["s1"]
+        assert set(switch.forwarding_table) == {"h1", "h2", "h3"}
+
+    def test_multi_switch_path(self):
+        sim = Simulator()
+        net = linear_topology(sim, 3)
+        path = net.controller.path_between("h1", "h3")
+        assert path == ("h1", "s1", "s2", "s3", "h3")
+
+    def test_delivery_across_multiple_switches(self):
+        sim = Simulator()
+        net = linear_topology(sim, 4, link_config=LinkConfig(latency_ms=1.0))
+        got = []
+        net.host("h4").bind(42, lambda pkt: got.append(pkt.payload))
+        net.host("h1").send("h4", "far away", size=20, dst_port=42)
+        sim.run()
+        assert got == ["far away"]
+
+    def test_reroute_after_link_failure(self):
+        # Triangle of switches: traffic should survive one inter-switch failure.
+        sim = Simulator()
+        builder = TopologyBuilder()
+        for s in ("s1", "s2", "s3"):
+            builder.add_switch(s)
+        builder.add_host("h1").add_host("h2")
+        cfg = LinkConfig(latency_ms=1.0)
+        builder.add_link("h1", "s1", cfg).add_link("h2", "s2", cfg)
+        builder.add_link("s1", "s2", cfg).add_link("s2", "s3", cfg).add_link("s1", "s3", cfg)
+        net = builder.build(sim)
+        net.start(monitor=False)
+        got = []
+        net.host("h2").bind(7, lambda pkt: got.append(sim.now))
+
+        def scenario():
+            net.host("h1").send("h2", "before", size=10, dst_port=7)
+            yield sim.timeout(1.0)
+            net.link_between("s1", "s2").set_down()
+            net.controller.handle_topology_change()
+            net.host("h1").send("h2", "after", size=10, dst_port=7)
+
+        sim.process(scenario())
+        sim.run()
+        assert len(got) == 2
+
+    def test_reachability_matrix_under_partition(self):
+        sim = Simulator()
+        net = one_big_switch(sim, ["h1", "h2", "h3"])
+        net.link_between("h3", "s1").set_down()
+        matrix = net.controller.reachability()
+        assert matrix["h1"]["h2"] is True
+        assert matrix["h1"]["h3"] is False
+        assert matrix["h3"]["h3"] is True
+
+    def test_spanning_tree_routing_mode(self):
+        sim = Simulator()
+        net = Network(sim, routing="spanning-tree")
+        net.add_switch("s1")
+        net.add_switch("s2")
+        net.add_host("h1")
+        net.add_host("h2")
+        cfg = LinkConfig(latency_ms=1.0)
+        net.add_link("h1", "s1", cfg)
+        net.add_link("h2", "s2", cfg)
+        net.add_link("s1", "s2", cfg)
+        net.start(monitor=False)
+        got = []
+        net.host("h2").bind(1, lambda pkt: got.append(pkt.payload))
+        net.host("h1").send("h2", "ok", size=10, dst_port=1)
+        sim.run()
+        assert got == ["ok"]
+
+    def test_invalid_routing_mode(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Network(sim, routing="magic")
+
+
+class TestTopologies:
+    def test_builder_validates_unknown_nodes(self):
+        builder = TopologyBuilder()
+        builder.add_host("h1")
+        builder.add_link("h1", "ghost")
+        with pytest.raises(ValueError, match="unknown node"):
+            builder.validate()
+
+    def test_builder_rejects_disconnected_graphs(self):
+        builder = TopologyBuilder()
+        builder.add_host("h1").add_host("h2")
+        with pytest.raises(ValueError, match="not connected"):
+            builder.validate()
+
+    def test_builder_duplicate_names(self):
+        builder = TopologyBuilder()
+        builder.add_host("x")
+        with pytest.raises(ValueError):
+            builder.add_switch("x")
+
+    def test_star_topology_shape(self):
+        sim = Simulator()
+        net, sites = star_topology(sim, 5)
+        assert len(sites) == 5
+        assert len(net.hosts) == 5
+        assert len(net.links) == 5
+        assert len(net.switches) == 1
+
+    def test_star_topology_requires_positive_sites(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            star_topology(sim, 0)
+
+    def test_one_big_switch_custom_link(self):
+        sim = Simulator()
+        net = one_big_switch(
+            sim,
+            ["h1", "h2"],
+            link_configs={"h1": LinkConfig(latency_ms=150.0)},
+        )
+        assert net.link_between("h1", "s1").config.latency_ms == 150.0
+        assert net.link_between("h2", "s1").config.latency_ms == 1.0
+
+
+class TestFaultInjection:
+    def test_scheduled_link_fault_and_recovery(self):
+        sim = Simulator()
+        net = one_big_switch(sim, ["h1", "h2"])
+        injector = FaultInjector(net)
+        injector.schedule_link_fault(LinkFault(endpoints=("h1", "s1"), start=5.0, duration=10.0))
+        link = net.link_between("h1", "s1")
+
+        states = {}
+
+        def probe():
+            yield sim.timeout(6.0)
+            states["during"] = link.up
+            yield sim.timeout(10.0)
+            states["after"] = link.up
+
+        sim.process(probe())
+        sim.run(until=30.0)
+        assert states == {"during": False, "after": True}
+        actions = [event.action for event in injector.history()]
+        assert actions == ["link-down", "link-up"]
+
+    def test_node_disconnection_cuts_all_links(self):
+        sim = Simulator()
+        net, sites = star_topology(sim, 3)
+        injector = FaultInjector(net)
+        injector.schedule_node_disconnection(
+            NodeDisconnection(node=sites[0], start=1.0, duration=2.0)
+        )
+        sim.run(until=1.5)
+        assert all(not link.up for link in net.links_of(sites[0]))
+        sim.run(until=4.0)
+        assert all(link.up for link in net.links_of(sites[0]))
+
+    def test_partition_between_groups(self):
+        sim = Simulator()
+        net = one_big_switch(sim, ["h1", "h2"])
+        injector = FaultInjector(net)
+        injector.partition(["h1"], ["s1"], start=0.5)
+        sim.run(until=1.0)
+        assert not net.link_between("h1", "s1").up
+        assert net.link_between("h2", "s1").up
+
+    def test_fault_validation(self):
+        with pytest.raises(ValueError):
+            LinkFault(endpoints=("a", "b"), start=-1.0)
+        with pytest.raises(ValueError):
+            LinkFault(endpoints=("a", "b"), start=0.0, duration=0.0)
+
+
+class TestTransport:
+    def _net(self, latency_ms=5.0, loss=0.0, seed=1):
+        sim = Simulator(seed=seed)
+        net = one_big_switch(
+            sim,
+            ["client", "server"],
+            default_config=LinkConfig(latency_ms=latency_ms, loss_percent=loss),
+        )
+        client = Transport(net.host("client"))
+        server = Transport(net.host("server"))
+        return sim, net, client, server
+
+    def test_request_response_roundtrip(self):
+        sim, net, client, server = self._net()
+        server.register(9000, lambda req: {"echo": req.payload})
+        results = []
+
+        def caller():
+            response = yield from client.request("server", 9000, "ping")
+            results.append((response, sim.now))
+
+        sim.process(caller())
+        sim.run()
+        assert results[0][0] == {"echo": "ping"}
+        # 4 link traversals at 5 ms each = at least 20 ms round trip.
+        assert results[0][1] >= 0.020
+
+    def test_generator_handler_takes_time(self):
+        sim, net, client, server = self._net()
+
+        def slow_handler(request):
+            yield sim.timeout(1.0)
+            return Response(payload="done", size=10)
+
+        server.register(9000, slow_handler)
+        results = []
+
+        def caller():
+            response = yield from client.request("server", 9000, "work", timeout=5.0)
+            results.append((response, sim.now))
+
+        sim.process(caller())
+        sim.run()
+        assert results[0][0] == "done"
+        assert results[0][1] >= 1.0
+
+    def test_timeout_and_retry_on_loss(self):
+        # 100% loss: every attempt times out and RequestTimeout is raised.
+        sim, net, client, server = self._net(loss=100.0)
+        server.register(9000, lambda req: "never")
+        outcome = []
+
+        def caller():
+            try:
+                yield from client.request("server", 9000, "ping", timeout=0.2, retries=2)
+            except RequestTimeout:
+                outcome.append(("timeout", sim.now))
+
+        sim.process(caller())
+        sim.run()
+        assert outcome and outcome[0][0] == "timeout"
+        assert outcome[0][1] == pytest.approx(0.6, rel=0.05)
+        assert client.requests_retried == 2
+        assert client.requests_failed == 1
+
+    def test_retry_recovers_from_transient_loss(self):
+        # 10% per-hop loss (four hops per round trip) with retries should
+        # still deliver every request.
+        sim, net, client, server = self._net(loss=10.0, seed=11)
+        server.register(9000, lambda req: "pong")
+        successes = []
+
+        def caller(i):
+            response = yield from client.request(
+                "server", 9000, f"ping{i}", timeout=0.5, retries=5
+            )
+            successes.append(response)
+
+        for i in range(10):
+            sim.process(caller(i))
+        sim.run()
+        assert len(successes) == 10
+
+    def test_remote_error_propagates(self):
+        sim, net, client, server = self._net()
+
+        def bad_handler(request):
+            raise ValueError("bad request")
+
+        server.register(9000, bad_handler)
+        errors = []
+
+        def caller():
+            try:
+                yield from client.request("server", 9000, "x")
+            except RemoteError as exc:
+                errors.append(str(exc))
+
+        sim.process(caller())
+        sim.run()
+        assert errors and "bad request" in errors[0]
+
+    def test_notify_is_one_way(self):
+        sim, net, client, server = self._net()
+        seen = []
+        server.register(9000, lambda req: seen.append(req.payload))
+        client.notify("server", 9000, {"metric": 1})
+        sim.run()
+        assert seen == [{"metric": 1}]
+
+    def test_reserved_port_rejected(self):
+        sim, net, client, server = self._net()
+        with pytest.raises(ValueError):
+            server.register(60000, lambda req: None)
+
+    def test_request_event_fanout(self):
+        sim, net, client, server = self._net()
+        server.register(9000, lambda req: req.payload * 2)
+        results = []
+
+        def caller():
+            events = [
+                client.request_event("server", 9000, i) for i in range(3)
+            ]
+            outcome = yield sim.all_of(events)
+            results.extend(sorted(outcome[e] for e in events))
+
+        sim.process(caller())
+        sim.run()
+        assert results == [0, 2, 4]

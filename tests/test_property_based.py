@@ -1,0 +1,248 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.broker.log import PartitionLog
+from repro.broker.message import ProducerRecord, _stable_hash
+from repro.core.configs import _duration_to_seconds, _size_to_bytes
+from repro.core.visualization import cdf, percentile, summarize_distribution
+from repro.network.addressing import AddressAllocator
+from repro.network.link import LinkConfig
+from repro.simulation import Simulator
+from repro.simulation.resources import Container, Store
+from repro.simulation.rng import SeededRandom
+from repro.store import KeyValueStore, TableStore
+
+
+# ---------------------------------------------------------------------------
+# Simulation engine
+# ---------------------------------------------------------------------------
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=1000.0), min_size=1, max_size=30))
+@settings(max_examples=50, deadline=None)
+def test_simulator_clock_is_monotonic_and_reaches_max_delay(delays):
+    sim = Simulator()
+    observed = []
+
+    def waiter(delay):
+        yield sim.timeout(delay)
+        observed.append(sim.now)
+
+    for delay in delays:
+        sim.process(waiter(delay))
+    sim.run()
+    assert observed == sorted(observed)
+    assert sim.now >= max(delays) - 1e-9
+
+
+@given(items=st.lists(st.integers(), min_size=0, max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_store_preserves_fifo_order(items):
+    sim = Simulator()
+    queue = Store(sim)
+    received = []
+
+    def producer():
+        for item in items:
+            yield queue.put(item)
+
+    def consumer():
+        for _ in items:
+            value = yield queue.get()
+            received.append(value)
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert received == list(items)
+
+
+@given(
+    capacity=st.floats(min_value=1.0, max_value=1000.0),
+    amounts=st.lists(st.floats(min_value=0.1, max_value=50.0), min_size=1, max_size=20),
+)
+@settings(max_examples=50, deadline=None)
+def test_container_level_never_exceeds_capacity_or_goes_negative(capacity, amounts):
+    sim = Simulator()
+    container = Container(sim, capacity=capacity)
+    levels = []
+
+    def churn():
+        for amount in amounts:
+            adjusted = min(amount, capacity)
+            yield container.put(adjusted)
+            levels.append(container.level)
+            yield container.get(adjusted)
+            levels.append(container.level)
+
+    sim.process(churn())
+    sim.run()
+    assert all(-1e-9 <= level <= capacity + 1e-9 for level in levels)
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1), name=st.text(min_size=1, max_size=20))
+@settings(max_examples=50, deadline=None)
+def test_named_rng_streams_are_reproducible(seed, name):
+    a = SeededRandom(seed).child(name)
+    b = SeededRandom(seed).child(name)
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+@given(rate=st.floats(min_value=0.01, max_value=1000.0))
+@settings(max_examples=50, deadline=None)
+def test_exponential_samples_are_positive(rate):
+    rng = SeededRandom(1)
+    assert all(rng.exponential(rate) >= 0 for _ in range(20))
+
+
+@given(lam=st.floats(min_value=0.0, max_value=200.0))
+@settings(max_examples=50, deadline=None)
+def test_poisson_samples_are_non_negative_integers(lam):
+    rng = SeededRandom(2)
+    for _ in range(10):
+        value = rng.poisson(lam)
+        assert isinstance(value, int)
+        assert value >= 0
+
+
+# ---------------------------------------------------------------------------
+# Network primitives
+# ---------------------------------------------------------------------------
+@given(names=st.lists(st.text(min_size=1, max_size=10), min_size=1, max_size=100, unique=True))
+@settings(max_examples=30, deadline=None)
+def test_address_allocation_is_unique(names):
+    allocator = AddressAllocator()
+    addresses = [allocator.allocate(name) for name in names]
+    assert len({address.ip for address in addresses}) == len(names)
+    assert len({address.mac for address in addresses}) == len(names)
+
+
+@given(
+    size=st.integers(min_value=0, max_value=10**7),
+    bandwidth=st.floats(min_value=0.1, max_value=10_000.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_serialization_delay_is_proportional_to_size(size, bandwidth):
+    config = LinkConfig(latency_ms=1.0, bandwidth_mbps=bandwidth)
+    delay = config.serialization_delay(size)
+    assert delay >= 0
+    assert delay == (size * 8) / (bandwidth * 1e6)
+
+
+# ---------------------------------------------------------------------------
+# Broker log invariants
+# ---------------------------------------------------------------------------
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=1000), min_size=1, max_size=100),
+    truncate_at=st.integers(min_value=0, max_value=120),
+)
+@settings(max_examples=100, deadline=None)
+def test_partition_log_offsets_contiguous_and_truncation_consistent(sizes, truncate_at):
+    log = PartitionLog("t")
+    for index, size in enumerate(sizes):
+        log.append(key=index, value=index, size=size, timestamp=0.0, produced_at=0.0, leader_epoch=0)
+    offsets = [record.offset for record in log.all_records()]
+    assert offsets == list(range(len(sizes)))
+    log.advance_high_watermark(len(sizes))
+    discarded = log.truncate_to(truncate_at)
+    assert log.log_end_offset == min(truncate_at, len(sizes))
+    assert len(discarded) == max(0, len(sizes) - truncate_at)
+    assert log.high_watermark <= log.log_end_offset
+    # Re-appending after truncation keeps offsets contiguous.
+    record = log.append(key="x", value="x", size=1, timestamp=0.0, produced_at=0.0, leader_epoch=1)
+    assert record.offset == log.log_end_offset - 1
+
+
+@given(
+    keys=st.lists(st.text(min_size=0, max_size=12), min_size=1, max_size=50),
+    partitions=st.integers(min_value=1, max_value=32),
+)
+@settings(max_examples=100, deadline=None)
+def test_key_partitioning_is_stable_and_in_range(keys, partitions):
+    for key in keys:
+        record_a = ProducerRecord(topic="t", value="v", key=key)
+        record_b = ProducerRecord(topic="t", value="other", key=key)
+        partition_a = record_a.partition_for(partitions)
+        assert 0 <= partition_a < partitions
+        assert partition_a == record_b.partition_for(partitions)
+
+
+@given(values=st.lists(st.text(max_size=30), min_size=1, max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_stable_hash_is_deterministic_across_calls(values):
+    assert [_stable_hash(v) for v in values] == [_stable_hash(v) for v in values]
+
+
+# ---------------------------------------------------------------------------
+# Stores
+# ---------------------------------------------------------------------------
+@given(
+    operations=st.lists(
+        st.tuples(st.sampled_from(["put", "delete"]), st.integers(0, 20), st.text(max_size=10)),
+        max_size=100,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_kvstore_matches_reference_dict(operations):
+    store = KeyValueStore()
+    reference = {}
+    for operation, key, value in operations:
+        if operation == "put":
+            store.put(key, value)
+            reference[key] = value
+        else:
+            store.delete(key)
+            reference.pop(key, None)
+    assert len(store) == len(reference)
+    for key, value in reference.items():
+        assert store.get(key) == value
+    assert store.bytes_stored >= 0
+
+
+@given(
+    rows=st.lists(
+        st.tuples(st.integers(0, 50), st.floats(min_value=-100, max_value=100, allow_nan=False)),
+        min_size=1,
+        max_size=60,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_table_select_ordering_matches_sorted(rows):
+    store = TableStore()
+    for key, value in rows:
+        store.upsert("t", key, {"v": value})
+    selected = store.select("t", order_by="v", descending=True)
+    values = [row.get("v") for row in selected]
+    assert values == sorted(values, reverse=True)
+
+
+# ---------------------------------------------------------------------------
+# Config parsing and statistics helpers
+# ---------------------------------------------------------------------------
+@given(megabytes=st.integers(min_value=1, max_value=4096))
+@settings(max_examples=50, deadline=None)
+def test_size_parsing_roundtrip_for_megabytes(megabytes):
+    assert _size_to_bytes(f"{megabytes}m", 0) == megabytes * 1024**2
+    assert _size_to_bytes(f"{megabytes}MB", 0) == megabytes * 1024**2
+
+
+@given(milliseconds=st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=50, deadline=None)
+def test_duration_parsing_roundtrip_for_milliseconds(milliseconds):
+    assert _duration_to_seconds(f"{milliseconds}ms", 0) == milliseconds / 1000.0
+
+
+@given(values=st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), min_size=1, max_size=200))
+@settings(max_examples=100, deadline=None)
+def test_cdf_and_percentile_invariants(values):
+    points = cdf(values)
+    fractions = [fraction for _, fraction in points]
+    assert fractions == sorted(fractions)
+    assert abs(fractions[-1] - 1.0) < 1e-9
+    xs = [value for value, _ in points]
+    assert xs == sorted(xs)
+    assert min(values) <= percentile(values, 0.5) <= max(values)
+    summary = summarize_distribution(values)
+    assert summary["count"] == len(values)
+    assert min(values) <= summary["mean"] <= max(values)
+    assert summary["max"] == max(values)

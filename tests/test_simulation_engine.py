@@ -1,0 +1,277 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.simulation import Interrupt, Simulator
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_clock_starts_at_initial_time():
+    sim = Simulator(initial_time=42.5)
+    assert sim.now == 42.5
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    sim.timeout(5.0)
+    sim.run()
+    assert sim.now == 5.0
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_process_runs_and_returns_value():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(1.0)
+        yield sim.timeout(2.0)
+        return "done"
+
+    p = sim.process(proc())
+    result = sim.run(until=p)
+    assert result == "done"
+    assert sim.now == pytest.approx(3.0)
+
+
+def test_run_until_time_stops_early():
+    sim = Simulator()
+    log = []
+
+    def proc():
+        for _ in range(10):
+            yield sim.timeout(1.0)
+            log.append(sim.now)
+
+    sim.process(proc())
+    sim.run(until=4.5)
+    assert log == [1.0, 2.0, 3.0, 4.0]
+    assert sim.now == 4.5
+
+
+def test_run_until_past_time_raises():
+    sim = Simulator(initial_time=10.0)
+    with pytest.raises(ValueError):
+        sim.run(until=5.0)
+
+
+def test_processes_interleave_in_time_order():
+    sim = Simulator()
+    order = []
+
+    def proc(name, delay):
+        yield sim.timeout(delay)
+        order.append(name)
+
+    sim.process(proc("slow", 3.0))
+    sim.process(proc("fast", 1.0))
+    sim.process(proc("medium", 2.0))
+    sim.run()
+    assert order == ["fast", "medium", "slow"]
+
+
+def test_process_waits_for_another_process():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(2.0)
+        return 21
+
+    def parent():
+        value = yield sim.process(child())
+        return value * 2
+
+    result = sim.run(until=sim.process(parent()))
+    assert result == 42
+
+
+def test_event_succeed_delivers_value():
+    sim = Simulator()
+    gate = sim.event()
+    seen = []
+
+    def waiter():
+        value = yield gate
+        seen.append(value)
+
+    def opener():
+        yield sim.timeout(1.0)
+        gate.succeed("open")
+
+    sim.process(waiter())
+    sim.process(opener())
+    sim.run()
+    assert seen == ["open"]
+
+
+def test_event_cannot_be_triggered_twice():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed(1)
+    with pytest.raises(RuntimeError):
+        event.succeed(2)
+
+
+def test_event_fail_raises_in_waiting_process():
+    sim = Simulator()
+    gate = sim.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield gate
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    def failer():
+        yield sim.timeout(1.0)
+        gate.fail(ValueError("boom"))
+
+    sim.process(waiter())
+    sim.process(failer())
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_unhandled_process_exception_propagates():
+    sim = Simulator()
+
+    def bad():
+        yield sim.timeout(1.0)
+        raise RuntimeError("unhandled")
+
+    sim.process(bad())
+    with pytest.raises(RuntimeError, match="unhandled"):
+        sim.run()
+
+
+def test_yielding_non_event_fails_process():
+    sim = Simulator()
+
+    def bad():
+        yield 42
+
+    proc = sim.process(bad())
+    with pytest.raises(RuntimeError, match="non-event"):
+        sim.run(until=proc)
+
+
+def test_interrupt_is_raised_inside_process():
+    sim = Simulator()
+    outcomes = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(100.0)
+            outcomes.append("finished")
+        except Interrupt as interrupt:
+            outcomes.append(("interrupted", interrupt.cause, sim.now))
+
+    def interrupter(target):
+        yield sim.timeout(5.0)
+        target.interrupt("wake up")
+
+    target = sim.process(sleeper())
+    sim.process(interrupter(target))
+    sim.run()
+    assert outcomes == [("interrupted", "wake up", 5.0)]
+
+
+def test_interrupting_finished_process_raises():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(1.0)
+
+    proc = sim.process(quick())
+    sim.run()
+    with pytest.raises(RuntimeError):
+        proc.interrupt()
+
+
+def test_all_of_waits_for_every_event():
+    sim = Simulator()
+
+    def proc():
+        t1 = sim.timeout(1.0, value="a")
+        t2 = sim.timeout(3.0, value="b")
+        results = yield sim.all_of([t1, t2])
+        return [results[t1], results[t2]]
+
+    result = sim.run(until=sim.process(proc()))
+    assert result == ["a", "b"]
+    assert sim.now == pytest.approx(3.0)
+
+
+def test_any_of_fires_on_first_event():
+    sim = Simulator()
+
+    def proc():
+        t1 = sim.timeout(1.0, value="fast")
+        t2 = sim.timeout(5.0, value="slow")
+        results = yield sim.any_of([t1, t2])
+        return (t1 in results, t2 in results)
+
+    result = sim.run(until=sim.process(proc()))
+    assert result == (True, False)
+    assert sim.now == pytest.approx(1.0)
+
+
+def test_schedule_callback_runs_at_delay():
+    sim = Simulator()
+    fired = []
+    sim.schedule_callback(7.5, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [7.5]
+
+
+def test_peek_returns_next_event_time():
+    sim = Simulator()
+    sim.timeout(3.0)
+    sim.timeout(1.0)
+    assert sim.peek() == pytest.approx(0.0) or sim.peek() <= 1.0
+    sim.run()
+    assert sim.peek() == float("inf")
+
+
+def test_run_until_idle_bounded():
+    sim = Simulator()
+
+    def proc():
+        while True:
+            yield sim.timeout(1.0)
+
+    sim.process(proc())
+    now = sim.run_until_idle(max_time=5.5)
+    assert now == 5.5
+
+
+def test_processed_events_counter_increases():
+    sim = Simulator()
+    for _ in range(10):
+        sim.timeout(1.0)
+    sim.run()
+    assert sim.processed_events >= 10
+
+
+def test_deterministic_rng_streams():
+    sim_a = Simulator(seed=7)
+    sim_b = Simulator(seed=7)
+    stream_a = sim_a.rng("loss")
+    stream_b = sim_b.rng("loss")
+    assert [stream_a.random() for _ in range(5)] == [stream_b.random() for _ in range(5)]
+
+
+def test_named_rng_streams_are_independent():
+    sim = Simulator(seed=7)
+    a = sim.rng("a")
+    b = sim.rng("b")
+    assert [a.random() for _ in range(3)] != [b.random() for _ in range(3)]

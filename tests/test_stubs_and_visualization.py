@@ -1,0 +1,218 @@
+"""Tests for the producer/consumer stubs and the figure-data (visualization) helpers."""
+
+import pytest
+
+from repro.broker import BrokerCluster, ClusterConfig, TopicConfig
+from repro.core.configs import ConsumerStubConfig, ProducerStubConfig
+from repro.core.visualization import (
+    DeliveryMatrix,
+    delivery_matrix,
+    latency_by_arrival,
+    latency_spikes,
+)
+from repro.network.link import LinkConfig
+from repro.network.topology import star_topology
+from repro.simulation import Simulator
+from repro.store import StoreServer
+from repro.stubs import (
+    DirectoryProducerStub,
+    FileSinkConsumerStub,
+    RandomRateProducerStub,
+    ReplayProducerStub,
+    SFSTProducerStub,
+    StandardConsumerStub,
+    StoreSinkConsumerStub,
+)
+
+
+def make_cluster(n_sites=3, topics=("events",), seed=6):
+    sim = Simulator(seed=seed)
+    network, sites = star_topology(
+        sim, n_sites, link_config=LinkConfig(latency_ms=2.0, bandwidth_mbps=100.0)
+    )
+    cluster = BrokerCluster(network, coordinator_host=sites[0], config=ClusterConfig())
+    for site in sites:
+        cluster.add_broker(site)
+    for topic in topics:
+        cluster.add_topic(TopicConfig(name=topic, replication_factor=1))
+    cluster.start(settle_time=2.0)
+    return sim, network, sites, cluster
+
+
+class TestProducerStubs:
+    def test_sfst_produces_every_item_in_order(self):
+        sim, network, sites, cluster = make_cluster()
+        items = [f"line-{i}" for i in range(15)]
+        stub = SFSTProducerStub(
+            cluster,
+            sites[0],
+            items,
+            config=ProducerStubConfig(topic="events", total_messages=15, messages_per_second=10),
+        )
+        sink = StandardConsumerStub(
+            cluster, sites[2], config=ConsumerStubConfig(topics=["events"])
+        )
+        sim.schedule_callback(8.0, lambda: (stub.start(), sink.start()))
+        sim.run(until=30.0)
+        assert stub.messages_produced == 15
+        assert [record.value for record in sink.records] == items
+
+    def test_sfst_cycles_when_total_exceeds_items(self):
+        sim, network, sites, cluster = make_cluster()
+        stub = SFSTProducerStub(
+            cluster,
+            sites[0],
+            ["a", "b"],
+            config=ProducerStubConfig(topic="events", total_messages=5, messages_per_second=20),
+        )
+        sim.schedule_callback(8.0, stub.start)
+        sim.run(until=20.0)
+        assert stub.messages_produced == 5
+
+    def test_directory_producer_sends_file_names_as_keys(self):
+        sim, network, sites, cluster = make_cluster()
+        files = [("a.txt", "alpha"), ("b.txt", "beta")]
+        stub = DirectoryProducerStub(
+            cluster,
+            sites[1],
+            files,
+            config=ProducerStubConfig(topic="events", messages_per_second=10),
+        )
+        sink = StandardConsumerStub(
+            cluster, sites[2], config=ConsumerStubConfig(topics=["events"])
+        )
+        sim.schedule_callback(8.0, lambda: (stub.start(), sink.start()))
+        sim.run(until=25.0)
+        assert sink.received_keys("events") == ["a.txt", "b.txt"]
+
+    def test_random_rate_producer_hits_target_bitrate(self):
+        sim, network, sites, cluster = make_cluster()
+        stub = RandomRateProducerStub(
+            cluster,
+            sites[0],
+            config=ProducerStubConfig(topics=["events"], rate_kbps=30.0, message_size=512),
+        )
+        sim.schedule_callback(8.0, stub.start)
+        sim.run(until=68.0)
+        elapsed = 60.0
+        achieved_kbps = stub.bytes_produced * 8 / 1000.0 / elapsed
+        assert achieved_kbps == pytest.approx(30.0, rel=0.25)
+
+    def test_replay_producer_preserves_relative_timing(self):
+        sim, network, sites, cluster = make_cluster()
+        timeline = [(0.0, "first"), (5.0, "second"), (6.0, "third")]
+        stub = ReplayProducerStub(
+            cluster, sites[0], timeline, config=ProducerStubConfig(topic="events")
+        )
+        sink = StandardConsumerStub(
+            cluster, sites[2], config=ConsumerStubConfig(topics=["events"])
+        )
+        sim.schedule_callback(8.0, lambda: (stub.start(), sink.start()))
+        sim.run(until=30.0)
+        received_at = {record.value: record.received_at for record in sink.records}
+        assert received_at["second"] - received_at["first"] == pytest.approx(5.0, abs=0.5)
+        assert received_at["third"] - received_at["second"] == pytest.approx(1.0, abs=0.5)
+
+
+class TestConsumerStubs:
+    def test_standard_consumer_latency_metrics(self):
+        sim, network, sites, cluster = make_cluster()
+        stub = SFSTProducerStub(
+            cluster,
+            sites[0],
+            ["x"] * 10,
+            config=ProducerStubConfig(topic="events", total_messages=10, messages_per_second=10),
+        )
+        sink = StandardConsumerStub(
+            cluster, sites[1], config=ConsumerStubConfig(topics=["events"])
+        )
+        sim.schedule_callback(8.0, lambda: (stub.start(), sink.start()))
+        sim.run(until=25.0)
+        assert sink.messages_consumed == 10
+        assert 0 < sink.mean_latency() < 1.0
+        assert sink.max_latency() >= sink.mean_latency()
+
+    def test_file_sink_consumer_groups_by_topic(self):
+        sim, network, sites, cluster = make_cluster(topics=("alpha", "beta"))
+        producer_a = SFSTProducerStub(
+            cluster, sites[0], ["a1", "a2"],
+            config=ProducerStubConfig(topic="alpha", total_messages=2, messages_per_second=5),
+        )
+        producer_b = SFSTProducerStub(
+            cluster, sites[1], ["b1"],
+            config=ProducerStubConfig(topic="beta", total_messages=1, messages_per_second=5),
+        )
+        sink = FileSinkConsumerStub(
+            cluster, sites[2], config=ConsumerStubConfig(topics=["alpha", "beta"])
+        )
+        sim.schedule_callback(
+            8.0, lambda: (producer_a.start(), producer_b.start(), sink.start())
+        )
+        sim.run(until=25.0)
+        assert sink.lines("alpha") == ["a1", "a2"]
+        assert sink.lines("beta") == ["b1"]
+
+    def test_store_sink_consumer_writes_to_store(self):
+        sim, network, sites, cluster = make_cluster()
+        store = StoreServer(network.host(sites[1]))
+        producer = SFSTProducerStub(
+            cluster, sites[0], ["v1", "v2", "v3"],
+            config=ProducerStubConfig(topic="events", total_messages=3, messages_per_second=5),
+        )
+        sink = StoreSinkConsumerStub(
+            cluster,
+            sites[2],
+            config=ConsumerStubConfig(topics=["events"], store_host=sites[1], store_table="out"),
+        )
+        sim.schedule_callback(8.0, lambda: (producer.start(), sink.start()))
+        sim.run(until=30.0)
+        assert store.tables.table("out").count() == 3
+
+    def test_store_sink_requires_store_host(self):
+        sim, network, sites, cluster = make_cluster()
+        with pytest.raises(ValueError):
+            StoreSinkConsumerStub(
+                cluster, sites[2], config=ConsumerStubConfig(topics=["events"])
+            )
+
+
+class TestVisualizationFigures:
+    def _delivered_scenario(self):
+        sim, network, sites, cluster = make_cluster()
+        producer_stub = SFSTProducerStub(
+            cluster, sites[0], [f"m{i}" for i in range(10)],
+            config=ProducerStubConfig(topic="events", total_messages=10, messages_per_second=10),
+        )
+        consumer = cluster.create_consumer(sites[2], name="obs")
+        consumer.subscribe(["events"])
+        sim.schedule_callback(8.0, lambda: (producer_stub.start(), consumer.start()))
+        sim.run(until=25.0)
+        return producer_stub.producer, consumer
+
+    def test_delivery_matrix_full_delivery(self):
+        producer, consumer = self._delivered_scenario()
+        matrix = delivery_matrix(producer, [consumer], topic="events")
+        assert matrix.n_messages == 10
+        assert matrix.delivery_rate(consumer.name) == 1.0
+        assert matrix.lost_anywhere() == []
+        assert "." in matrix.render_text()
+
+    def test_delivery_matrix_detects_missing_messages(self):
+        matrix = DeliveryMatrix(
+            producer="p",
+            message_keys=[0, 1, 2, 3],
+            matrix={"c1": [True, False, True, False], "c2": [True, True, True, False]},
+        )
+        assert matrix.delivery_rate("c1") == 0.5
+        assert matrix.lost_indices("c1") == [1, 3]
+        assert matrix.lost_anywhere() == [1, 3]
+        assert "X" in matrix.render_text(width=4)
+
+    def test_latency_by_arrival_is_ordered_and_spikes_counted(self):
+        producer, consumer = self._delivered_scenario()
+        points = latency_by_arrival(consumer, topics=["events"])
+        assert len(points) == 10
+        assert [point.order for point in points] == list(range(10))
+        assert latency_spikes(points, threshold=100.0) == {}
+        spikes = latency_spikes(points, threshold=-1.0)
+        assert spikes.get("events") == 10
