@@ -5,11 +5,33 @@ but representative scale (the full paper-scale settings are exposed through
 each experiment's config dataclass).  Results are printed as the same rows /
 series the paper reports, and the qualitative shape is asserted via each
 experiment module's ``check_shape``.
+
+Developer notes
+---------------
+* Everything collected under ``benchmarks/`` is auto-marked ``bench`` (see
+  ``pytest_collection_modifyitems`` below), so the quick local tier is
+  ``pytest -m "not bench"`` — a few seconds instead of the full run.
+* The default ``pytest -x -q`` invocation runs benchmarks too and must stay
+  green end-to-end; keep the quick-config scales modest.
+* ``test_bench_core_speed.py`` additionally persists raw engine throughput
+  and experiment wall-clock numbers to ``BENCH_core.json`` at the repo root,
+  building a perf trajectory across PRs — check it in when it changes.
 """
 
 from __future__ import annotations
 
+import pathlib
+
 import pytest
+
+_BENCH_DIR = pathlib.Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        # This hook sees the whole session's items; only mark ours.
+        if _BENCH_DIR in pathlib.Path(str(item.fspath)).resolve().parents:
+            item.add_marker(pytest.mark.bench)
 
 
 def report(title: str, rows) -> None:

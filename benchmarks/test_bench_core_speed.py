@@ -1,0 +1,165 @@
+"""Core engine speed trajectory: raw events/sec plus experiment wall-clock.
+
+Unlike the figure benchmarks (which assert the *shape* of paper results),
+this module measures how fast the simulator itself runs and persists the
+numbers to ``BENCH_core.json`` at the repo root, so future PRs have a perf
+trajectory to beat:
+
+* ``call_later`` dispatch rate — the zero-allocation fast path used by the
+  network data plane (one heap entry per packet delivery);
+* process/timeout rate — the generator-based slow path;
+* packet round-trip rate through the full host->switch->host data plane;
+* wall-clock of two packet-heavy experiments at their quick-test scale
+  (fig6 partition, fig7b traffic monitoring).
+
+Assertions are loose sanity floors (hardware varies); the JSON file carries
+the actual trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.broker.coordinator import CoordinationMode
+from repro.experiments.fig6_partition import Fig6Config, run_fig6
+from repro.experiments.fig7b_traffic_monitoring import Fig7bConfig, run_fig7b
+from repro.network import LinkConfig, Network
+from repro.simulation import Simulator
+
+from benchmarks.conftest import report
+
+BENCH_FILE = Path(__file__).resolve().parents[1] / "BENCH_core.json"
+
+_results: dict = {}
+
+
+def _record(name: str, value: float) -> float:
+    _results[name] = round(value, 2)
+    return value
+
+
+def test_bench_call_later_dispatch_rate():
+    n = 200_000
+    sim = Simulator(seed=1)
+    counter = [0]
+
+    def tick():
+        counter[0] += 1
+        if counter[0] < n:
+            sim.call_later(0.001, tick)
+
+    sim.call_later(0.001, tick)
+    started = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - started
+    rate = _record("call_later_events_per_sec", n / elapsed)
+    report("call_later dispatch", {"events": n, "seconds": elapsed, "events/sec": rate})
+    assert counter[0] == n
+    assert rate > 50_000
+
+
+def test_bench_process_timeout_rate():
+    n = 100_000
+    sim = Simulator(seed=1)
+
+    def looper():
+        for _ in range(n):
+            yield sim.timeout(0.001)
+
+    sim.process(looper())
+    started = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - started
+    rate = _record("process_timeout_events_per_sec", n / elapsed)
+    report("process/timeout loop", {"events": n, "seconds": elapsed, "events/sec": rate})
+    assert rate > 20_000
+
+
+def test_bench_packet_round_trips():
+    """Full data-plane path: host -> link -> switch -> link -> host and back."""
+    n = 20_000
+    sim = Simulator(seed=1)
+    net = Network(sim)
+    net.add_switch("s1")
+    net.add_host("h1")
+    net.add_host("h2")
+    cfg = LinkConfig(latency_ms=1.0, bandwidth_mbps=1000.0)
+    net.add_link("h1", "s1", cfg)
+    net.add_link("h2", "s1", cfg)
+    net.start(monitor=False)
+    done = [0]
+
+    def pong(pkt):
+        net.host("h2").send("h1", "pong", size=64, dst_port=2)
+
+    def ping(pkt):
+        done[0] += 1
+        if done[0] < n:
+            net.host("h1").send("h2", "ping", size=64, dst_port=1)
+
+    net.host("h2").bind(1, pong)
+    net.host("h1").bind(2, ping)
+    net.host("h1").send("h2", "ping", size=64, dst_port=1)
+    started = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - started
+    rate = _record("packet_round_trips_per_sec", n / elapsed)
+    _record("packet_events_per_sec", sim.processed_events / elapsed)
+    report(
+        "packet round-trips",
+        {"round_trips": n, "seconds": elapsed, "round_trips/sec": rate},
+    )
+    assert done[0] == n
+    assert rate > 1_000
+
+
+def test_bench_fig6_wall_clock():
+    config = Fig6Config(
+        n_sites=4,
+        duration=150.0,
+        disconnect_start=50.0,
+        disconnect_duration=35.0,
+        mode=CoordinationMode.ZOOKEEPER,
+        acks=1,
+        seed=3,
+    )
+    started = time.perf_counter()
+    result = run_fig6(config)
+    elapsed = time.perf_counter() - started
+    _record("fig6_quick_wall_seconds", elapsed)
+    report(
+        "fig6 partition (quick scale)",
+        {"wall_seconds": elapsed, "messages_produced": result.messages_produced},
+    )
+    assert result.messages_produced > 100
+
+
+def test_bench_fig7b_wall_clock():
+    config = Fig7bConfig(user_counts=[20, 60], slots=10)
+    started = time.perf_counter()
+    result = run_fig7b(config)
+    elapsed = time.perf_counter() - started
+    _record("fig7b_quick_wall_seconds", elapsed)
+    report(
+        "fig7b traffic monitoring (quick scale)",
+        {"wall_seconds": elapsed, "input_records_60u": result.input_records.get(60, 0)},
+    )
+    assert all(runtime > 0 for runtime in result.mean_runtime_s.values())
+
+
+def test_bench_persist_trajectory():
+    """Runs last in the module: writes the collected numbers to BENCH_core.json."""
+    assert _results, "earlier benchmarks populated no results"
+    history = []
+    if BENCH_FILE.exists():
+        try:
+            history = json.loads(BENCH_FILE.read_text()).get("runs", [])
+        except (ValueError, AttributeError):
+            history = []
+    history.append({"unix_time": int(time.time()), "metrics": dict(_results)})
+    BENCH_FILE.write_text(
+        json.dumps({"latest": dict(_results), "runs": history[-20:]}, indent=2) + "\n"
+    )
+    report("BENCH_core.json", _results)

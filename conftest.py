@@ -1,0 +1,20 @@
+"""Repo-level pytest configuration.
+
+Registers the ``bench`` marker used by the benchmark harness under
+``benchmarks/`` (every test collected there is auto-marked).  Common
+invocations:
+
+* ``PYTHONPATH=src python -m pytest -x -q`` — full tier-1 suite, benchmarks
+  included (the default gate; must stay green).
+* ``PYTHONPATH=src python -m pytest -x -q -m "not bench"`` — quick tier for
+  local iteration: unit/integration tests only, a few seconds.
+* ``PYTHONPATH=src python -m pytest benchmarks -q`` — paper figures/tables
+  plus the core-speed trajectory (updates ``BENCH_core.json``).
+"""
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "bench: slow paper-reproduction benchmark (deselect with -m \"not bench\")",
+    )

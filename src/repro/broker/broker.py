@@ -13,6 +13,7 @@ from repro.broker.errors import (
 )
 from repro.broker.log import LogRecord, PartitionLog
 from repro.network.host import Host
+from repro.network.packet import estimate_size
 from repro.network.transport import Request, RequestTimeout, Response, Transport
 
 BROKER_PORT = 9092
@@ -76,6 +77,7 @@ class Broker:
         self._local_epochs: Dict[str, int] = {}
         self._truncation_pending: Dict[str, bool] = {}
         self.last_session_refresh: float = host.sim.now
+        self._metadata_size_cache: tuple = (None, 0)
         self.running = False
         self.records_appended = 0
         self.records_served = 0
@@ -206,8 +208,22 @@ class Broker:
         if request_type == "epoch_end_offset":
             return self._handle_epoch_end_offset(payload)
         if request_type == "metadata":
-            return {"metadata": self.metadata}
+            # Explicit reply size: clients poll metadata constantly, and
+            # letting the transport re-estimate the (large) snapshot dict per
+            # reply dominated the control-plane cost.  The estimate is cached
+            # per metadata version.
+            return Response(
+                payload={"metadata": self.metadata}, size=self._metadata_reply_size()
+            )
         return {"error": f"unknown request type {request_type!r}"}
+
+    def _metadata_reply_size(self) -> int:
+        version = self.metadata.get("version", -1)
+        cached_version, cached_size = self._metadata_size_cache
+        if cached_version != version:
+            cached_size = estimate_size({"metadata": self.metadata})
+            self._metadata_size_cache = (version, cached_size)
+        return cached_size
 
     # -- produce path ------------------------------------------------------------------------------
     def _handle_produce(self, payload: dict):
@@ -439,6 +455,9 @@ class Broker:
             info = dict(info)
             info["isr"] = desired_isr
             self.metadata["partitions"][key] = info
+            # In-place mutation without a version bump: drop the cached
+            # metadata reply size so it is re-estimated from fresh content.
+            self._metadata_size_cache = (None, 0)
 
     # -- follower replication loop -----------------------------------------------------------------------------
     def _replica_fetch_loop(self):

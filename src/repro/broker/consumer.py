@@ -167,6 +167,14 @@ class Consumer:
         cost = self.config.cpu_per_record * len(records)
         if cost > 0:
             yield from self.host.compute(cost)
+        if not self.config.keep_payloads and self.on_record is None:
+            # Fast path for large experiments: count the batch without
+            # materializing a ConsumerRecord per message.
+            for wire_record in records:
+                self.records_consumed += 1
+                self.bytes_consumed += wire_record["size"]
+            self.offsets[key] = records[-1]["offset"] + 1
+            return True
         for wire_record in records:
             consumer_record = ConsumerRecord(
                 topic=info["topic"],

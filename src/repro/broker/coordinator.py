@@ -28,7 +28,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.network.host import Host
-from repro.network.transport import Request, Transport
+from repro.network.packet import estimate_size
+from repro.network.transport import Request, Response, Transport
 from repro.broker.topic import PartitionState, TopicConfig
 
 COORDINATOR_PORT = 2181
@@ -87,6 +88,7 @@ class Coordinator:
         self.partitions: Dict[str, PartitionState] = {}
         self.topics: Dict[str, TopicConfig] = {}
         self.metadata_version = 0
+        self._snapshot_size_cache: tuple = (None, 0)
         self.elections: List[ElectionRecord] = []
         self.event_log: List[dict] = []
         self._started = False
@@ -117,7 +119,11 @@ class Coordinator:
         if request_type == "heartbeat":
             return self._handle_heartbeat(payload)
         if request_type == "metadata":
-            return self.metadata_snapshot()
+            # Fresh snapshot per reply (callers mutate their copy), but the
+            # reply-size estimate is cached per metadata version so the
+            # transport does not re-walk the snapshot on every heartbeat.
+            snapshot = self.metadata_snapshot()
+            return Response(payload=snapshot, size=self._snapshot_size(snapshot))
         if request_type == "create_topic":
             return self._handle_create_topic(payload)
         if request_type == "isr_update":
@@ -228,6 +234,13 @@ class Coordinator:
                 for key, state in self.partitions.items()
             },
         }
+
+    def _snapshot_size(self, snapshot: dict) -> int:
+        cached_version, cached_size = self._snapshot_size_cache
+        if cached_version != self.metadata_version:
+            cached_size = estimate_size(snapshot)
+            self._snapshot_size_cache = (self.metadata_version, cached_size)
+        return cached_size
 
     def _bump(self) -> None:
         self.metadata_version += 1

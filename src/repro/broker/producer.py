@@ -20,8 +20,9 @@ delivery-matrix experiment (Figure 6b) reads back.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Deque, Dict, List, Optional
 
 from repro.broker.broker import BROKER_PORT
 from repro.broker.errors import DeliveryFailed
@@ -33,7 +34,18 @@ from repro.simulation.events import Event
 
 @dataclass
 class ProducerConfig:
-    """Producer tunables (YAML ``prodCfg`` keys map onto these)."""
+    """Producer tunables (YAML ``prodCfg`` keys map onto these).
+
+    Batching knobs (mirroring Kafka's ``batch.size`` / ``linger.ms`` /
+    ``max.in.flight``-per-partition semantics):
+
+    * ``batch_size`` — byte threshold per partition batch.  A batch that
+      reaches it (or ``max_batch_records``) is flushed *immediately* rather
+      than waiting for the next linger tick, so one RPC, one size estimate
+      and one broker CPU charge cover many records under heavy traffic.
+    * ``linger`` — how long an under-filled batch may wait for more records
+      before the sender flushes it anyway.
+    """
 
     buffer_memory: int = 32 * 1024 * 1024
     batch_size: int = 16 * 1024
@@ -106,8 +118,10 @@ class Producer:
             host, default_timeout=self.config.request_timeout, max_retries=0
         )
         self.metadata: dict = {"version": -1, "partitions": {}, "brokers": {}}
-        self._accumulator: Dict[str, List[PendingRecord]] = {}
+        self._accumulator: Dict[str, Deque[PendingRecord]] = {}
+        self._queued_bytes: Dict[str, int] = {}
         self._in_flight: set = set()
+        self._flush_scheduled: set = set()
         self._waiting_for_buffer: List[PendingRecord] = []
         self._buffer_used = 0
         self._sequence = 0
@@ -177,7 +191,55 @@ class Producer:
 
     def _enqueue(self, pending: PendingRecord) -> None:
         key = f"{pending.record.topic}-{pending.partition}"
-        self._accumulator.setdefault(key, []).append(pending)
+        queue = self._accumulator.get(key)
+        if queue is None:
+            queue = self._accumulator[key] = deque()
+        queue.append(pending)
+        queued = self._queued_bytes.get(key, 0) + pending.record.size
+        self._queued_bytes[key] = queued
+        # Size-triggered eager flush: a full batch goes out now instead of
+        # waiting (up to ``linger``) for the sender loop's next tick.
+        self._maybe_schedule_flush(key)
+
+    def _maybe_schedule_flush(self, key: str) -> None:
+        """Schedule an immediate flush if a full batch is waiting.
+
+        Kafka semantics: ``linger`` only delays *under-filled* batches; full
+        ones ship as soon as the partition's in-flight slot frees up.  One
+        scheduled flush per key at a time, so a same-instant burst past the
+        threshold does not push a callback per record.
+        """
+        if (
+            not self.running
+            or key in self._in_flight
+            or key in self._flush_scheduled
+        ):
+            return
+        queue = self._accumulator.get(key)
+        if not queue:
+            return
+        if (
+            self._queued_bytes.get(key, 0) >= self.config.batch_size
+            or len(queue) >= self.config.max_batch_records
+        ):
+            self._flush_scheduled.add(key)
+            self.sim.call_later(0.0, self._eager_flush, key)
+
+    def _eager_flush(self, key: str) -> None:
+        self._flush_scheduled.discard(key)
+        self._flush_key(key)
+
+    def _flush_key(self, key: str) -> None:
+        """Drain and transmit one partition's batch if one is ready."""
+        if not self.running or key in self._in_flight:
+            return
+        batch = self._drain_batch(key)
+        if not batch:
+            return
+        self._in_flight.add(key)
+        self.sim.process(
+            self._send_batch_guarded(key, batch), name=f"{self.name}:send:{key}"
+        )
 
     def _partition_count(self, topic: str) -> int:
         count = 0
@@ -197,25 +259,21 @@ class Producer:
                 last_metadata_refresh = self.sim.now
             self._admit_waiting_records()
             for key in list(self._accumulator.keys()):
-                # One in-flight batch per partition: a partition whose leader
-                # is unreachable must not block the other partitions' traffic
-                # (the disconnected producer in Figure 6 keeps feeding its
-                # local topic while retrying the remote one).
-                if key in self._in_flight:
-                    continue
-                batch = self._drain_batch(key)
-                if not batch:
-                    continue
-                self._in_flight.add(key)
-                self.sim.process(
-                    self._send_batch_guarded(key, batch), name=f"{self.name}:send:{key}"
-                )
+                # One in-flight batch per partition (enforced inside
+                # _flush_key): a partition whose leader is unreachable must
+                # not block the other partitions' traffic (the disconnected
+                # producer in Figure 6 keeps feeding its local topic while
+                # retrying the remote one).
+                self._flush_key(key)
 
     def _send_batch_guarded(self, key: str, batch: List[PendingRecord]):
         try:
             yield from self._send_batch(key, batch)
         finally:
             self._in_flight.discard(key)
+            # The freed in-flight slot immediately serves the next full
+            # batch; under-filled remainders wait for the linger tick.
+            self._maybe_schedule_flush(key)
 
     def _admit_waiting_records(self) -> None:
         admitted = []
@@ -228,7 +286,7 @@ class Producer:
             self._waiting_for_buffer.remove(pending)
 
     def _drain_batch(self, key: str) -> List[PendingRecord]:
-        queue = self._accumulator.get(key, [])
+        queue = self._accumulator.get(key)
         if not queue:
             return []
         batch: List[PendingRecord] = []
@@ -237,8 +295,10 @@ class Producer:
             candidate = queue[0]
             if batch and size + candidate.record.size > self.config.batch_size:
                 break
-            batch.append(queue.pop(0))
+            batch.append(queue.popleft())
             size += candidate.record.size
+        if size:
+            self._queued_bytes[key] = self._queued_bytes.get(key, 0) - size
         return batch
 
     def _send_batch(self, key: str, batch: List[PendingRecord]):

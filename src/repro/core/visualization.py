@@ -177,9 +177,11 @@ def summarize_distribution(values: Sequence[float]) -> Dict[str, float]:
     ordered = sorted(values)
     if not ordered:
         return {"count": 0, "mean": 0.0, "median": 0.0, "p95": 0.0, "max": 0.0}
+    # Clamp against float rounding: sum()/n can land 1 ulp outside [min, max].
+    mean = min(max(sum(ordered) / len(ordered), ordered[0]), ordered[-1])
     return {
         "count": len(ordered),
-        "mean": sum(ordered) / len(ordered),
+        "mean": mean,
         "median": percentile(ordered, 0.5),
         "p95": percentile(ordered, 0.95),
         "max": ordered[-1],

@@ -141,11 +141,7 @@ class Host(NetworkNode):
         packet.hop(self.name)
         if dst == self.name:
             # Loopback: co-located components still pay a small kernel hop.
-            self.sim.schedule_callback(
-                LOOPBACK_DELAY,
-                lambda p=packet: self._deliver_local(p),
-                name=f"{self.name}:loopback",
-            )
+            self.sim.call_later(LOOPBACK_DELAY, self._deliver_local, packet)
             return packet
         self._default_port.transmit(packet)
         return packet

@@ -12,15 +12,32 @@ emerge.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 from repro.network.node import Port
 from repro.network.packet import Packet
-from repro.simulation.resources import Store
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.simulation import Simulator
+
+
+class _Direction:
+    """Per-direction transmit state: FIFO queue plus a busy flag.
+
+    The link data path is callback-driven (no Store, no pump process): the
+    whole per-packet cost is one serialization timer and one propagation
+    entry on the simulator's fast path.
+    """
+
+    __slots__ = ("src", "dst", "queue", "busy")
+
+    def __init__(self, src: Port, dst: Port) -> None:
+        self.src = src
+        self.dst = dst
+        self.queue: deque = deque()
+        self.busy = False
 
 
 @dataclass
@@ -50,19 +67,31 @@ class LinkConfig:
         if not 0.0 <= self.loss_percent <= 100.0:
             raise ValueError("loss must lie in [0, 100]")
 
-    @property
-    def latency_s(self) -> float:
-        return self.latency_ms / 1000.0
-
-    @property
-    def loss_probability(self) -> float:
-        return self.loss_percent / 100.0
+    def __setattr__(self, name: str, value) -> None:
+        # The derived values below are read once per packet on the hot data
+        # path, so they are plain floats kept in sync on every assignment
+        # (fault injectors mutate loss_percent/latency_ms mid-run) instead of
+        # per-packet @property arithmetic.
+        if name == "bandwidth_mbps" and value is not None and value <= 0:
+            # Must stay loud on mutation too: silently mapping 0 to
+            # "unshaped" would turn a throttled link into an infinite one.
+            raise ValueError("bandwidth must be positive")
+        object.__setattr__(self, name, value)
+        if name == "latency_ms":
+            object.__setattr__(self, "latency_s", value / 1000.0)
+        elif name == "loss_percent":
+            object.__setattr__(self, "loss_probability", value / 100.0)
+        elif name == "bandwidth_mbps":
+            # inf encodes "unshaped": size * 8 / inf == 0.0.
+            object.__setattr__(
+                self,
+                "bits_per_second",
+                float("inf") if value is None else value * 1e6,
+            )
 
     def serialization_delay(self, wire_size_bytes: int) -> float:
         """Time to clock ``wire_size_bytes`` onto the wire."""
-        if self.bandwidth_mbps is None:
-            return 0.0
-        return wire_size_bytes * 8 / (self.bandwidth_mbps * 1e6)
+        return wire_size_bytes * 8 / self.bits_per_second
 
 
 class Link:
@@ -85,14 +114,15 @@ class Link:
         )
         self.up = True
         self._rng = sim.rng(f"link-loss:{self.name}")
-        self._queues = {id(port_a): Store(sim), id(port_b): Store(sim)}
+        self._directions = {
+            id(port_a): _Direction(port_a, port_b),
+            id(port_b): _Direction(port_b, port_a),
+        }
         self.packets_dropped_loss = 0
         self.packets_dropped_down = 0
         self.packets_delivered = 0
         port_a.attach(self)
         port_b.attach(self)
-        sim.process(self._pump(port_a, port_b), name=f"link:{self.name}:a->b")
-        sim.process(self._pump(port_b, port_a), name=f"link:{self.name}:b->a")
 
     # -- wiring ----------------------------------------------------------------
     def other_port(self, port: Port) -> Port:
@@ -117,33 +147,54 @@ class Link:
     # -- data path --------------------------------------------------------------
     def transmit(self, packet: Packet, from_port: Port) -> None:
         """Enqueue ``packet`` for transmission away from ``from_port``."""
-        self._queues[id(from_port)].put(packet)
+        direction = self._directions[id(from_port)]
+        direction.queue.append(packet)
+        if not direction.busy:
+            direction.busy = True
+            self._drain(direction)
 
-    def _pump(self, src: Port, dst: Port):
-        """Serialize packets from ``src`` towards ``dst`` one at a time."""
-        queue = self._queues[id(src)]
-        while True:
-            packet = yield queue.get()
+    def _drain(self, direction: "_Direction") -> None:
+        """Serialize queued packets one at a time (callback-driven pump).
+
+        Runs until a serialization timer is scheduled (shaped links) or the
+        queue empties.  While a timer is outstanding ``direction.busy`` stays
+        True and the timer's completion callback re-enters the drain, which
+        is what serializes one packet at a time and produces the queueing /
+        head-of-line blocking behaviour of the store-and-forward model.
+        """
+        queue = direction.queue
+        config = self.config
+        while queue:
+            packet = queue.popleft()
             if not self.up:
                 self.packets_dropped_down += 1
-                src.stats.record_tx_drop()
+                direction.src.stats.record_tx_drop()
                 continue
-            serialization = self.config.serialization_delay(packet.wire_size)
+            serialization = packet.wire_size * 8 / config.bits_per_second
             if serialization > 0:
-                yield self.sim.timeout(serialization)
-            if not self.up:
-                self.packets_dropped_down += 1
-                src.stats.record_tx_drop()
-                continue
-            if self._rng.bernoulli(self.config.loss_probability):
-                self.packets_dropped_loss += 1
-                continue
-            # Propagation happens in parallel with the next serialization.
-            self.sim.schedule_callback(
-                self.config.latency_s,
-                lambda p=packet, d=dst: self._arrive(p, d),
-                name=f"link:{self.name}:deliver",
-            )
+                self.sim.call_later(serialization, self._serialized, direction, packet)
+                return
+            self._launch(direction, packet)
+        direction.busy = False
+
+    def _serialized(self, direction: "_Direction", packet: Packet) -> None:
+        """Timer callback: the packet has fully left the transmitter."""
+        self._launch(direction, packet)
+        self._drain(direction)
+
+    def _launch(self, direction: "_Direction", packet: Packet) -> None:
+        """Post-serialization fate: drop (down/loss) or propagate."""
+        if not self.up:
+            self.packets_dropped_down += 1
+            direction.src.stats.record_tx_drop()
+            return
+        if self._rng.bernoulli(self.config.loss_probability):
+            self.packets_dropped_loss += 1
+            direction.src.stats.record_tx_drop()
+            return
+        # Propagation happens in parallel with the next serialization;
+        # one fast-path heap entry per delivery, no per-packet Process.
+        self.sim.call_later(self.config.latency_s, self._arrive, packet, direction.dst)
 
     def _arrive(self, packet: Packet, dst: Port) -> None:
         if not self.up:

@@ -82,15 +82,17 @@ class Packet:
 def estimate_size(payload: Any, floor: int = 16) -> int:
     """Best-effort serialized size estimate for arbitrary payloads.
 
-    The broker and SPE compute record sizes explicitly; this helper exists for
-    stub components that send plain Python objects.
+    The broker and SPE compute record sizes explicitly (``ProducerRecord``
+    caches its size at construction and batch/reply sizes are summed from
+    those), so hot-path wire messages never reach this recursive walk; this
+    helper exists for stub components and control-plane messages that send
+    plain Python objects.  Checks are ordered by observed frequency, and
+    ASCII strings avoid the UTF-8 encode round-trip.
     """
     if payload is None:
         return floor
-    if isinstance(payload, (bytes, bytearray)):
-        return max(floor, len(payload))
     if isinstance(payload, str):
-        return max(floor, len(payload.encode("utf-8")))
+        return max(floor, len(payload) if payload.isascii() else len(payload.encode("utf-8")))
     if isinstance(payload, (int, float, bool)):
         return max(floor, 8)
     if isinstance(payload, dict):
@@ -100,4 +102,6 @@ def estimate_size(payload: Any, floor: int = 16) -> int:
         )
     if isinstance(payload, (list, tuple, set)):
         return max(floor, sum(estimate_size(item, 4) for item in payload))
+    if isinstance(payload, (bytes, bytearray)):
+        return max(floor, len(payload))
     return max(floor, len(repr(payload)))

@@ -70,11 +70,8 @@ class Switch(NetworkNode):
             return
         self.packets_forwarded += 1
         if self.switching_delay > 0:
-            self.sim.schedule_callback(
-                self.switching_delay,
-                lambda p=packet, o=out_port: o.transmit(p),
-                name=f"{self.name}:forward",
-            )
+            # Fast path: one heap entry per forwarded packet.
+            self.sim.call_later(self.switching_delay, out_port.transmit, packet)
         else:
             out_port.transmit(packet)
 

@@ -193,36 +193,45 @@ class Transport:
         attempts = (retries if retries is not None else self.max_retries) + 1
         wire_size = size if size is not None else estimate_size(payload)
         last_error: Optional[Exception] = None
-        for attempt in range(attempts):
-            request_id = next(_request_ids)
-            waiter = self.sim.event()
-            self._pending[request_id] = waiter
-            self.requests_sent += 1
-            if attempt > 0:
-                self.requests_retried += 1
-            self.host.send(
-                dst=dst,
-                payload=payload,
-                size=wire_size,
-                dst_port=port,
-                src_port=self.reply_port,
-                headers={"request_id": request_id},
-            )
-            timeout_event = self.sim.timeout(attempt_timeout)
-            outcome = yield self.sim.any_of([waiter, timeout_event])
-            if waiter in outcome:
-                return waiter.value
-            if waiter.triggered and not waiter.ok:
+        request_id: Optional[int] = None
+        try:
+            for attempt in range(attempts):
+                request_id = next(_request_ids)
+                waiter = self.sim.event()
+                self._pending[request_id] = waiter
+                self.requests_sent += 1
+                if attempt > 0:
+                    self.requests_retried += 1
+                self.host.send(
+                    dst=dst,
+                    payload=payload,
+                    size=wire_size,
+                    dst_port=port,
+                    src_port=self.reply_port,
+                    headers={"request_id": request_id},
+                )
+                timeout_event = self.sim.timeout(attempt_timeout)
+                outcome = yield self.sim.any_of([waiter, timeout_event])
+                if waiter in outcome:
+                    return waiter.value
+                if waiter.triggered and not waiter.ok:
+                    raise waiter.value
+                # Timed out: deregister so a late reply cannot resolve this
+                # (now stale) request id, then retry under a fresh id.
                 self._pending.pop(request_id, None)
-                raise waiter.value
-            # Timed out: clean up and retry.
-            self._pending.pop(request_id, None)
-            last_error = RequestTimeout(
-                f"{self.host.name} -> {dst}:{port} timed out after {attempt_timeout}s "
-                f"(attempt {attempt + 1}/{attempts})"
-            )
-        self.requests_failed += 1
-        raise last_error if last_error is not None else RequestTimeout("request failed")
+                last_error = RequestTimeout(
+                    f"{self.host.name} -> {dst}:{port} timed out after {attempt_timeout}s "
+                    f"(attempt {attempt + 1}/{attempts})"
+                )
+            self.requests_failed += 1
+            raise last_error if last_error is not None else RequestTimeout("request failed")
+        finally:
+            # Covers every exit: error replies, exhausted retries, and the
+            # requesting process being interrupted / garbage-collected while a
+            # request is in flight.  (Successful replies were already removed
+            # by _on_reply; pop is a no-op then.)
+            if request_id is not None:
+                self._pending.pop(request_id, None)
 
     def request_event(
         self,

@@ -1,4 +1,19 @@
-"""The simulator: event queue, clock, and run loop."""
+"""The simulator: event queue, clock, and run loop.
+
+Two scheduling tiers share one heap:
+
+* the full :class:`~repro.simulation.events.Event` / ``Process`` machinery,
+  used wherever a caller needs to *wait* on an occurrence; and
+* a zero-allocation fast path — :meth:`Simulator.call_later` — that pushes a
+  bare ``(fn, args)`` entry and invokes it directly from the dispatch loop.
+  One heap entry per callback, no ``Event``, no generator frame.  The network
+  data plane (link propagation, switch forwarding, loopback delivery) runs
+  entirely on this path; see :class:`_Callback`.
+
+Both tiers are ordered by ``(time, priority, sequence)`` from a single
+monotonic counter, so mixing them cannot reorder same-time events and
+determinism is preserved.
+"""
 
 from __future__ import annotations
 
@@ -21,6 +36,25 @@ class EmptySchedule(Exception):
 
 class StopSimulation(Exception):
     """Raised to terminate :meth:`Simulator.run` when its until-event fires."""
+
+
+class _Callback:
+    """A bare scheduled callback: the fast-path heap entry.
+
+    Unlike an :class:`Event` it cannot be waited on, has no value and no
+    failure state — the dispatch loop just calls ``fn(*args)``.  This is what
+    makes per-packet scheduling cheap: one small object and one heap push
+    instead of a ``Process`` + init ``Event`` + ``Timeout``.
+    """
+
+    __slots__ = ("fn", "args")
+
+    def __init__(self, fn: Callable[..., Any], args: tuple) -> None:
+        self.fn = fn
+        self.args = args
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<_Callback {getattr(self.fn, '__qualname__', self.fn)!r}>"
 
 
 class Simulator:
@@ -96,16 +130,30 @@ class Simulator:
     def _schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
         heapq.heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
 
+    def call_later(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Run ``fn(*args)`` once, ``delay`` seconds from now (fast path).
+
+        This is the zero-allocation scheduling primitive: it costs one heap
+        push and a tiny :class:`_Callback` record, and the dispatch loop calls
+        ``fn`` directly.  Use it for fire-and-forget work (packet delivery,
+        deferred starts) where nothing needs to wait on the result; use
+        :meth:`process` / :meth:`timeout` when the caller must synchronize.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        heapq.heappush(
+            self._queue, (self._now + delay, NORMAL, next(self._eid), _Callback(fn, args))
+        )
+
     def schedule_callback(
         self, delay: float, callback: Callable[[], None], name: str = "callback"
-    ) -> Process:
-        """Run ``callback()`` once, ``delay`` seconds from now, as a tiny process."""
+    ) -> None:
+        """Run ``callback()`` once, ``delay`` seconds from now.
 
-        def _runner() -> Generator[Event, Any, Any]:
-            yield self.timeout(delay)
-            callback()
-
-        return self.process(_runner(), name=name)
+        Thin compatibility wrapper over :meth:`call_later` (it used to spawn a
+        throwaway process per callback; it no longer does).
+        """
+        self.call_later(delay, callback)
 
     # -- run loop -------------------------------------------------------------
     def peek(self) -> float:
@@ -119,12 +167,15 @@ class Simulator:
         except IndexError:
             raise EmptySchedule() from None
         self._now = when
+        self._processed_events += 1
+        if type(event) is _Callback:
+            event.fn(*event.args)
+            return
         callbacks, event.callbacks = event.callbacks, None
         if callbacks:
             for callback in callbacks:
                 callback(event)
-        self._processed_events += 1
-        if not event._ok and not event.defused:
+        if not event._ok and not event._defused:
             # Unhandled failure: crash the simulation like an uncaught exception.
             raise event._value
 
@@ -153,23 +204,62 @@ class Simulator:
                 self._schedule(until_event, delay=deadline - self._now, priority=URGENT)
             until_event.callbacks.append(self._stop_callback)
 
+        # Hot loop: an inlined copy of step() with the heap, pop and counters
+        # held in locals.  step() stays the single-step API; keep both in sync.
+        queue = self._queue
+        pop = heapq.heappop
+        processed = 0
         try:
             while True:
-                self.step()
+                try:
+                    when, _priority, _eid, event = pop(queue)
+                except IndexError:
+                    raise EmptySchedule() from None
+                self._now = when
+                processed += 1
+                if type(event) is _Callback:
+                    event.fn(*event.args)
+                    continue
+                callbacks, event.callbacks = event.callbacks, None
+                if callbacks:
+                    for callback in callbacks:
+                        callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
         except StopSimulation as stop:
             return stop.args[0] if stop.args else None
         except EmptySchedule:
             if until_event is not None and not until_event.triggered:
                 return None
             return None
+        finally:
+            self._processed_events += processed
 
     def run_until_idle(self, max_time: Optional[float] = None) -> float:
         """Drain the event queue (optionally bounded by ``max_time``) and return the clock."""
-        while self._queue:
-            if max_time is not None and self.peek() > max_time:
-                self._now = max_time
-                break
-            self.step()
+        # Same inlined dispatch as run(); bounded by peeking before each pop.
+        queue = self._queue
+        pop = heapq.heappop
+        processed = 0
+        try:
+            while queue:
+                if max_time is not None and queue[0][0] > max_time:
+                    self._now = max_time
+                    break
+                when, _priority, _eid, event = pop(queue)
+                self._now = when
+                processed += 1
+                if type(event) is _Callback:
+                    event.fn(*event.args)
+                    continue
+                callbacks, event.callbacks = event.callbacks, None
+                if callbacks:
+                    for callback in callbacks:
+                        callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
+        finally:
+            self._processed_events += processed
         return self._now
 
     def _stop_callback(self, event: Event) -> None:

@@ -113,16 +113,21 @@ class Timeout(Event):
 class ConditionValue:
     """Mapping-like view over the events that triggered within a condition."""
 
+    __slots__ = ("events", "_members")
+
     def __init__(self, events: List[Event]) -> None:
         self.events = events
+        # Identity set for O(1) membership; events hash by identity, and the
+        # ``request`` hot path probes ``waiter in outcome`` on every RPC.
+        self._members = set(events)
 
     def __getitem__(self, event: Event) -> Any:
-        if event not in self.events:
+        if event not in self._members:
             raise KeyError(event)
         return event._value
 
     def __contains__(self, event: Event) -> bool:
-        return event in self.events
+        return event in self._members
 
     def __len__(self) -> int:
         return len(self.events)
@@ -162,6 +167,11 @@ class Condition(Event):
             return
 
         for event in self._events:
+            if self.triggered:
+                # Fast path: already-processed events decided the condition
+                # (e.g. AnyOf over a fired event); skip registering callbacks
+                # on the rest — _check would ignore them anyway.
+                break
             if event.callbacks is None:
                 self._check(event)
             else:

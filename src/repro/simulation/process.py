@@ -15,6 +15,22 @@ class Interrupt(Exception):
         return self.args[0] if self.args else None
 
 
+class _Bootstrap:
+    """Shared successful pseudo-event used to kick-start every process.
+
+    ``Process._resume`` only reads ``_ok`` / ``_value`` from the event it is
+    resumed with, so all processes can share this one immutable instance
+    instead of allocating a fresh init :class:`Event` each.
+    """
+
+    __slots__ = ()
+    _ok = True
+    _value = None
+
+
+_BOOTSTRAP = _Bootstrap()
+
+
 class Process(Event):
     """A running simulation process.
 
@@ -40,12 +56,9 @@ class Process(Event):
         self.name = name or getattr(generator, "__name__", "process")
         self._target: Optional[Event] = None
         self._interrupts: list = []
-        # Kick-start the process at the current simulation time.
-        init = Event(sim)
-        init._ok = True
-        init._value = None
-        init.callbacks.append(self._resume)
-        sim._schedule(init)
+        # Kick-start the process at the current simulation time (fast path:
+        # no init Event; the dispatch loop calls _resume directly).
+        sim.call_later(0.0, self._resume, _BOOTSTRAP)
 
     @property
     def is_alive(self) -> bool:
@@ -123,15 +136,11 @@ class Process(Event):
             next_event.callbacks.append(self._resume)
             self._target = next_event
         else:
-            # Event already processed: resume immediately on the next step.
-            immediate = Event(self.sim)
-            immediate._ok = next_event._ok
-            immediate._value = next_event._value
-            if not next_event._ok:
-                next_event.defuse()
-                immediate._defused = True
-            immediate.callbacks.append(self._resume)
-            self.sim._schedule(immediate)
+            # Event already processed: resume on the next step via the
+            # fast-path scheduler, passing the processed event straight back
+            # into _resume (no throwaway Event needed; _resume defuses
+            # failures before re-raising them into the generator).
+            self.sim.call_later(0.0, self._resume, next_event)
 
     def __repr__(self) -> str:
         return f"<Process {self.name!r} at {hex(id(self))}>"

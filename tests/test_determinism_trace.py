@@ -1,0 +1,94 @@
+"""Seeded-determinism trace regression test.
+
+Runs a small broker + producer + consumer experiment twice with the same seed
+and asserts the *full simulated trace* is identical: processed event count,
+final clock, per-link delivered/dropped counters and client-side record
+accounting.  This locks in the behavior-preservation claim of the simulator
+fast path: optimizations may change wall-clock speed, never simulated results.
+"""
+
+from repro.broker.cluster import BrokerCluster, ClusterConfig
+from repro.broker.consumer import ConsumerConfig
+from repro.broker.message import ProducerRecord
+from repro.broker.producer import ProducerConfig
+from repro.broker.topic import TopicConfig
+from repro.network.link import LinkConfig
+from repro.network.topology import star_topology
+from repro.simulation import Simulator
+
+DURATION = 40.0
+
+
+def run_trace(seed: int) -> dict:
+    """One small seeded run; returns every observable counter of the trace."""
+    sim = Simulator(seed=seed)
+    network, _sites = star_topology(
+        sim,
+        3,
+        link_config=LinkConfig(latency_ms=2.0, bandwidth_mbps=100.0, loss_percent=1.0),
+    )
+    cluster = BrokerCluster(network, coordinator_host="site1", config=ClusterConfig())
+    cluster.add_broker("site1")
+    cluster.add_broker("site2")
+    cluster.add_topic(TopicConfig(name="events", replication_factor=2))
+    cluster.start(settle_time=1.0)
+
+    producer = cluster.create_producer(
+        "site3", config=ProducerConfig(linger=0.05, request_timeout=1.0)
+    )
+    consumer = cluster.create_consumer(
+        "site3", config=ConsumerConfig(poll_interval=0.1)
+    )
+    consumer.subscribe(["events"])
+
+    rng = sim.rng("workload")
+
+    def workload():
+        yield sim.timeout(5.0)
+        producer.start()
+        consumer.start()
+        for i in range(200):
+            producer.send(ProducerRecord(topic="events", key=i, value=f"payload-{i}"))
+            yield sim.timeout(rng.exponential(20.0))
+
+    sim.process(workload(), name="workload")
+    sim.run(until=DURATION)
+
+    links = {}
+    for link in network.links:
+        links[link.name] = (
+            link.packets_delivered,
+            link.packets_dropped_loss,
+            link.packets_dropped_down,
+        )
+    return {
+        "processed_events": sim.processed_events,
+        "final_clock": sim.now,
+        "links": links,
+        "records_sent": producer.records_sent,
+        "records_acked": producer.records_acked,
+        "records_failed": producer.records_failed,
+        "records_consumed": consumer.records_consumed,
+        "bytes_consumed": consumer.bytes_consumed,
+        "consumed_keys": consumer.received_keys("events"),
+        "metadata_version": producer.metadata.get("version"),
+    }
+
+
+def test_same_seed_produces_identical_trace():
+    first = run_trace(seed=42)
+    second = run_trace(seed=42)
+    assert first == second
+    # Sanity: the run exercised the full data plane (traffic actually flowed
+    # and the lossy links dropped something, so the RNG path is covered too).
+    assert first["records_consumed"] > 0
+    assert first["processed_events"] > 1000
+    assert sum(dropped for _, dropped, _ in first["links"].values()) > 0
+
+
+def test_different_seeds_diverge():
+    base = run_trace(seed=42)
+    other = run_trace(seed=43)
+    # The workload draws from the seeded RNG, so a different seed must change
+    # the trace (guards against the RNG being silently unseeded/ignored).
+    assert base["processed_events"] != other["processed_events"]
