@@ -9,28 +9,45 @@ trajectory to beat:
   network data plane (one heap entry per packet delivery);
 * process/timeout rate — the generator-based slow path;
 * packet round-trip rate through the full host->switch->host data plane;
+* end-to-end produce->consume record throughput through the batch-native
+  broker wire path (client send -> broker append -> fetch -> header decode);
 * wall-clock of two packet-heavy experiments at their quick-test scale
-  (fig6 partition, fig7b traffic monitoring).
+  (fig6 partition, fig7b traffic monitoring) *and* at paper scale
+  (fig6: 10 sites / 600 s; fig7b: the full 20-100-user sweep).
 
 Assertions are loose sanity floors (hardware varies); the JSON file carries
-the actual trajectory.
+the actual trajectory.  ``test_bench_regression_gate`` additionally fails
+the bench run when a throughput metric drops more than 20% below the best
+entry ever recorded on this machine's trajectory.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import platform
 import time
 from pathlib import Path
 
+from repro.broker.cluster import BrokerCluster, ClusterConfig
+from repro.broker.consumer import ConsumerConfig
 from repro.broker.coordinator import CoordinationMode
+from repro.broker.message import ProducerRecord
+from repro.broker.producer import ProducerConfig
+from repro.broker.topic import TopicConfig
 from repro.experiments.fig6_partition import Fig6Config, run_fig6
 from repro.experiments.fig7b_traffic_monitoring import Fig7bConfig, run_fig7b
 from repro.network import LinkConfig, Network
+from repro.network.topology import one_big_switch
 from repro.simulation import Simulator
 
 from benchmarks.conftest import report
 
 BENCH_FILE = Path(__file__).resolve().parents[1] / "BENCH_core.json"
+
+#: Fraction of the best recorded value a throughput metric may drop to
+#: before the regression gate fails the bench run (>20% drop = failure).
+REGRESSION_FLOOR = 0.8
 
 _results: dict = {}
 
@@ -38,6 +55,12 @@ _results: dict = {}
 def _record(name: str, value: float) -> float:
     _results[name] = round(value, 2)
     return value
+
+
+def _machine_id() -> str:
+    """Coarse machine fingerprint: throughput numbers are only comparable
+    against runs from the same hardware, so bests are tracked per machine."""
+    return f"{platform.node()}/{os.cpu_count()}cpu"
 
 
 def test_bench_call_later_dispatch_rate():
@@ -115,6 +138,90 @@ def test_bench_packet_round_trips():
     assert rate > 1_000
 
 
+def _produce_consume_once(n_records: int, payload: str) -> float:
+    """One produce->consume run; returns the wall seconds until the last
+    record is consumed (idle post-delivery broker loops excluded)."""
+    sim = Simulator(seed=7)
+    network = one_big_switch(
+        sim,
+        ["source", "broker", "sink"],
+        default_config=LinkConfig(latency_ms=0.5, bandwidth_mbps=10_000.0),
+    )
+    cluster = BrokerCluster(network, coordinator_host="broker", config=ClusterConfig())
+    cluster.add_broker("broker")
+    cluster.add_topic(TopicConfig(name="events", replication_factor=1))
+    cluster.start(settle_time=1.0)
+    producer = cluster.create_producer(
+        "source",
+        config=ProducerConfig(linger=0.005, buffer_memory=512 * 1024 * 1024),
+    )
+    consumer = cluster.create_consumer(
+        "sink",
+        config=ConsumerConfig(
+            poll_interval=0.01, max_records_per_fetch=5000, keep_payloads=False
+        ),
+    )
+    consumer.subscribe(["events"])
+    done = sim.event()
+
+    def drive():
+        yield sim.timeout(2.0)
+        producer.start()
+        consumer.start()
+        for i in range(n_records):
+            producer.send(
+                ProducerRecord(topic="events", key=i, value=payload, size=112)
+            )
+            if i % 200 == 199:
+                yield sim.timeout(0.001)
+        while consumer.records_consumed < n_records:
+            yield sim.timeout(0.05)
+        producer.stop()
+        consumer.stop()
+        done.succeed()
+
+    sim.process(drive())
+    started = time.perf_counter()
+    sim.run(until=done)
+    elapsed = time.perf_counter() - started
+    assert consumer.records_consumed == n_records
+    assert consumer.bytes_consumed == n_records * 112
+    return elapsed
+
+
+def test_bench_produce_consume_throughput():
+    """End-to-end record throughput: producer client -> broker -> consumer.
+
+    One producer streams records into a single-partition topic while a
+    consumer (header-accounting fast path) drains it.  This exercises the
+    whole batch-native record plane: accumulator drain into one
+    ``RecordBatch`` per flush, whole-batch log append, batch fetch replies
+    and O(1) consumer decode.
+
+    This metric feeds the regression gate, so the measurement is stabilized:
+    best of three runs, each with a collected heap and the GC paused (earlier
+    suite modules leave enough garbage to skew allocation-heavy benches).
+    """
+    import gc
+
+    n_records = 50_000
+    payload = "x" * 100
+    best = float("inf")
+    for _ in range(3):
+        gc.collect()
+        gc.disable()
+        try:
+            best = min(best, _produce_consume_once(n_records, payload))
+        finally:
+            gc.enable()
+    rate = _record("produce_consume_records_per_sec", n_records / best)
+    report(
+        "produce->consume throughput",
+        {"records": n_records, "seconds": best, "records/sec": rate},
+    )
+    assert rate > 5_000
+
+
 def test_bench_fig6_wall_clock():
     config = Fig6Config(
         n_sites=4,
@@ -149,17 +256,129 @@ def test_bench_fig7b_wall_clock():
     assert all(runtime > 0 for runtime in result.mean_runtime_s.values())
 
 
+def test_bench_fig6_paper_scale():
+    """Figure 6 at the paper's full scale: 10 sites, 600 s, ~20% disconnect."""
+    config = Fig6Config(
+        n_sites=10,
+        duration=600.0,
+        disconnect_start=180.0,
+        disconnect_duration=120.0,
+        mode=CoordinationMode.ZOOKEEPER,
+        acks=1,
+        seed=3,
+    )
+    started = time.perf_counter()
+    result = run_fig6(config)
+    elapsed = time.perf_counter() - started
+    _record("fig6_paper_wall_seconds", elapsed)
+    report(
+        "fig6 partition (paper scale, 10 sites / 600 s)",
+        {"wall_seconds": elapsed, "messages_produced": result.messages_produced},
+    )
+    assert result.messages_produced > 10_000
+    # The paper's qualitative claim holds at full scale too: ZooKeeper mode
+    # silently loses acknowledged topic-A records during the partition.
+    assert result.acked_but_lost > 0
+    assert result.loss_only_on_topic_a()
+
+
+def test_bench_fig7b_paper_scale():
+    """Figure 7b with the paper's full user sweep (20-100 users)."""
+    config = Fig7bConfig()  # defaults = the paper sweep
+    started = time.perf_counter()
+    result = run_fig7b(config)
+    elapsed = time.perf_counter() - started
+    _record("fig7b_paper_wall_seconds", elapsed)
+    report(
+        "fig7b traffic monitoring (paper sweep)",
+        {"wall_seconds": elapsed, "input_records_100u": result.input_records.get(100, 0)},
+    )
+    series = result.normalized_series()
+    assert series[0] == 1.0
+    assert series[-1] > 1.0
+
+
 def test_bench_persist_trajectory():
-    """Runs last in the module: writes the collected numbers to BENCH_core.json."""
+    """Runs last in the module: writes the collected numbers to BENCH_core.json.
+
+    Besides the (bounded) run history, a per-machine ``best`` map keeps the
+    running maximum of every rate metric forever — the regression gate reads
+    it, so truncating old runs can never silently re-loosen the gate.
+    """
     assert _results, "earlier benchmarks populated no results"
-    history = []
+    history: list = []
+    best: dict = {}
     if BENCH_FILE.exists():
         try:
-            history = json.loads(BENCH_FILE.read_text()).get("runs", [])
+            previous = json.loads(BENCH_FILE.read_text())
+            history = previous.get("runs", [])
+            best = previous.get("best", {})
         except (ValueError, AttributeError):
-            history = []
-    history.append({"unix_time": int(time.time()), "metrics": dict(_results)})
+            history, best = [], {}
+    machine = _machine_id()
+    history.append(
+        {"unix_time": int(time.time()), "machine": machine, "metrics": dict(_results)}
+    )
+    machine_best = best.setdefault(machine, {})
+    for name, value in _results.items():
+        if name.endswith("_per_sec"):
+            machine_best[name] = max(machine_best.get(name, 0.0), value)
     BENCH_FILE.write_text(
-        json.dumps({"latest": dict(_results), "runs": history[-20:]}, indent=2) + "\n"
+        json.dumps(
+            {"latest": dict(_results), "best": best, "runs": history[-20:]}, indent=2
+        )
+        + "\n"
     )
     report("BENCH_core.json", _results)
+
+
+#: Metrics the regression gate enforces.  Only the stabilized end-to-end
+#: throughput gates: the micro-rates (call_later, packet round-trips) are
+#: single-shot measurements whose run-to-run variance under a loaded machine
+#: exceeds the 20% budget — they stay reported-but-ungated in the trajectory.
+GATED_METRICS = ("produce_consume_records_per_sec",)
+
+
+def test_bench_regression_gate():
+    """Fail the bench run on a >20% throughput drop versus the best entry.
+
+    The best value comes from the never-truncated per-machine ``best`` map in
+    the trajectory file, so the gate tightens as the record plane gets faster
+    and never re-loosens.  Bests are per machine fingerprint: the first bench
+    run on new hardware establishes that machine's baseline instead of being
+    judged against someone else's CPU.
+    """
+    import pytest
+
+    if not _results:
+        pytest.skip("gate needs the earlier benchmarks in the same session")
+    machine_best = (
+        json.loads(BENCH_FILE.read_text()).get("best", {}).get(_machine_id(), {})
+    )
+    best = {
+        name: machine_best[name] for name in GATED_METRICS if name in machine_best
+    }
+    regressions = {
+        name: (value, best[name])
+        for name, value in _results.items()
+        if name in best and value < best[name] * REGRESSION_FLOOR
+    }
+    report(
+        "regression gate (floor = best * 0.8)",
+        [
+            {
+                "metric": name,
+                "current": _results.get(name, 0.0),
+                "best": best_value,
+                "floor": round(best_value * REGRESSION_FLOOR, 2),
+            }
+            for name, best_value in sorted(best.items())
+        ],
+    )
+    assert not regressions, (
+        "throughput regressed >20% versus the best recorded entry: "
+        + ", ".join(
+            f"{name}: {value:.0f} < 0.8 * {best_value:.0f}"
+            for name, (value, best_value) in regressions.items()
+        )
+    )

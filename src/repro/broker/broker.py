@@ -11,6 +11,7 @@ from repro.broker.errors import (
     NotLeaderError,
     UnknownTopicError,
 )
+from repro.broker.batch import RecordBatch
 from repro.broker.log import LogRecord, PartitionLog
 from repro.network.host import Host
 from repro.network.packet import estimate_size
@@ -228,7 +229,7 @@ class Broker:
     # -- produce path ------------------------------------------------------------------------------
     def _handle_produce(self, payload: dict):
         key = f"{payload['topic']}-{payload.get('partition', 0)}"
-        records = payload.get("records", [])
+        batch: RecordBatch = payload["batch"]
         acks = payload.get("acks", 1)
 
         def produce_process():
@@ -247,24 +248,14 @@ class Broker:
             if acks == "all" and len(info["isr"]) < self.config.min_insync_replicas:
                 self.produce_rejections += 1
                 return {"error": "not_enough_replicas"}
-            cost = self.config.cpu_per_request + self.config.cpu_per_record * len(records)
+            cost = self.config.cpu_per_request + self.config.cpu_per_record * len(batch)
             yield from self.host.compute(cost)
             log = self.logs[key]
             epoch = self._local_epochs.get(key, info["leader_epoch"])
-            base_offset = log.log_end_offset
-            total_size = 0
-            for record in records:
-                log.append(
-                    key=record.get("key"),
-                    value=record.get("value"),
-                    size=record.get("size", 0),
-                    timestamp=self.sim.now,
-                    produced_at=record.get("produced_at", self.sim.now),
-                    leader_epoch=epoch,
-                    headers=record.get("headers"),
-                )
-                total_size += record.get("size", 0)
-            self.records_appended += len(records)
+            # One append per batch: offsets assigned from the header, size
+            # accounted once from ``batch.total_size`` inside the log.
+            base_offset = log.append_batch(batch, timestamp=self.sim.now, leader_epoch=epoch)
+            self.records_appended += len(batch)
             self._maybe_advance_high_watermark(key)
             if acks == "all":
                 last_offset = log.log_end_offset
@@ -314,31 +305,20 @@ class Broker:
             if offset > log.log_end_offset:
                 offset = log.log_end_offset
             max_records = payload.get("max_records", 500)
-            records = log.committed_read(offset, max_records=max_records)
-            cost = self.config.cpu_per_request + self.config.cpu_per_record * len(records)
+            # One wire object per fetch: the batch header carries the size, so
+            # the reply size is header arithmetic, not a per-record sum.
+            batch = log.committed_read_batch(offset, max_records=max_records)
+            cost = self.config.cpu_per_request + self.config.cpu_per_record * len(batch)
             yield from self.host.compute(cost)
-            self.records_served += len(records)
-            wire_records = [
-                {
-                    "offset": record.offset,
-                    "key": record.key,
-                    "value": record.value,
-                    "size": record.size,
-                    "timestamp": record.timestamp,
-                    "produced_at": record.produced_at,
-                    "headers": record.headers,
-                }
-                for record in records
-            ]
-            payload_size = sum(record.size for record in records) + 64
+            self.records_served += len(batch)
             return Response(
                 payload={
                     "error": None,
-                    "records": wire_records,
+                    "batch": batch,
                     "high_watermark": log.high_watermark,
                     "log_end_offset": log.log_end_offset,
                 },
-                size=payload_size,
+                size=batch.total_size + 64,
             )
 
         return fetch_process()
@@ -375,33 +355,23 @@ class Broker:
             replica_state.follower_offsets[follower] = offset
             if offset >= log.log_end_offset:
                 replica_state.follower_caught_up_at[follower] = self.sim.now
-            records = log.read(offset, max_records=self.config.replica_fetch_max_records)
-            cost = self.config.cpu_per_request + self.config.cpu_per_record * len(records)
+            batch = log.read_batch(
+                offset,
+                max_records=self.config.replica_fetch_max_records,
+                with_epochs=True,
+            )
+            cost = self.config.cpu_per_request + self.config.cpu_per_record * len(batch)
             yield from self.host.compute(cost)
             self._maybe_advance_high_watermark(key)
             yield from self._maybe_update_isr(key)
-            wire_records = [
-                {
-                    "offset": record.offset,
-                    "key": record.key,
-                    "value": record.value,
-                    "size": record.size,
-                    "timestamp": record.timestamp,
-                    "produced_at": record.produced_at,
-                    "leader_epoch": record.leader_epoch,
-                    "headers": record.headers,
-                }
-                for record in records
-            ]
-            payload_size = sum(record.size for record in records) + 64
             return Response(
                 payload={
                     "error": None,
-                    "records": wire_records,
+                    "batch": batch,
                     "high_watermark": log.high_watermark,
                     "leader_epoch": self._local_epochs.get(key, info["leader_epoch"]),
                 },
-                size=payload_size,
+                size=batch.total_size + 64,
             )
 
         return replica_fetch_process()
@@ -519,19 +489,11 @@ class Broker:
             return
         if reply.get("error") is not None:
             return
-        for wire_record in reply["records"]:
-            record = LogRecord(
-                offset=wire_record["offset"],
-                key=wire_record["key"],
-                value=wire_record["value"],
-                size=wire_record["size"],
-                timestamp=wire_record["timestamp"],
-                produced_at=wire_record["produced_at"],
-                leader_epoch=wire_record["leader_epoch"],
-                headers=wire_record.get("headers", {}),
-            )
-            if record.offset == log.log_end_offset:
-                log.append_record(record)
+        batch: RecordBatch = reply["batch"]
+        if len(batch) and batch.base_offset <= log.log_end_offset:
+            # Whole-batch replica append: the already-present overlap (if the
+            # follower refetched from an older LEO) is trimmed inside.
+            log.append_wire_batch(batch)
         log.set_high_watermark(reply["high_watermark"])
 
     def __repr__(self) -> str:

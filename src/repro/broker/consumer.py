@@ -4,13 +4,21 @@ Consumers subscribe to topics, poll the partition leader for committed
 records, track their own offsets and record per-message delivery latency
 (time between the producer's send call and local receipt) — the measurement
 behind Figures 5, 6b and 6c.
+
+Fetch replies arrive as one :class:`~repro.broker.batch.RecordBatch` per
+partition: the consumer decodes the batch *header* (base offset, count,
+total size) in O(1) and only materializes per-record
+:class:`ConsumerRecord` objects when an observer (``keep_payloads`` or the
+``on_record`` callback) actually needs them.  Batch-aware observers can set
+``on_batch`` instead and receive the columnar batch directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.broker.batch import RecordBatch
 from repro.broker.broker import BROKER_PORT
 from repro.network.host import Host
 from repro.network.transport import RequestTimeout, Transport
@@ -69,6 +77,7 @@ class Consumer:
         config: Optional[ConsumerConfig] = None,
         name: Optional[str] = None,
         on_record: Optional[Callable[[ConsumerRecord], None]] = None,
+        on_batch: Optional[Callable[[str, int, RecordBatch, float], None]] = None,
     ) -> None:
         if not bootstrap:
             raise ValueError("bootstrap list must contain at least one broker host")
@@ -78,10 +87,15 @@ class Consumer:
         self.bootstrap = list(bootstrap)
         self.config = config or ConsumerConfig()
         self.on_record = on_record
+        #: Batch-level observer: called as ``on_batch(topic, partition, batch,
+        #: received_at)`` instead of materializing ConsumerRecords.  Ignored
+        #: while ``on_record`` or ``keep_payloads`` demand per-record objects.
+        self.on_batch = on_batch
         self.transport = Transport(
             host, default_timeout=self.config.fetch_timeout, max_retries=0
         )
         self.metadata: dict = {"version": -1, "partitions": {}, "brokers": {}}
+        self._poll_targets_cache: tuple = (None, None)
         self.subscriptions: List[str] = []
         self.offsets: Dict[str, int] = {}
         self.received: List[ConsumerRecord] = []
@@ -96,6 +110,7 @@ class Consumer:
         for topic in topics:
             if topic not in self.subscriptions:
                 self.subscriptions.append(topic)
+        self._poll_targets_cache = (None, None)
 
     def start(self) -> None:
         if self.running:
@@ -123,9 +138,7 @@ class Consumer:
             if self.sim.now - last_refresh > self.config.metadata_refresh_interval:
                 yield from self._refresh_metadata()
                 last_refresh = self.sim.now
-            for key, info in list(self.metadata.get("partitions", {}).items()):
-                if info["topic"] not in self.subscriptions:
-                    continue
+            for key, info in self._poll_targets():
                 progressed = yield from self._fetch_partition(key, info)
                 if progressed is False:
                     # Leader unknown or unreachable: back off a little and
@@ -133,6 +146,23 @@ class Consumer:
                     yield self.sim.timeout(self.config.retry_backoff)
                     yield from self._refresh_metadata()
                     last_refresh = self.sim.now
+
+    def _poll_targets(self) -> list:
+        """Subscribed (key, info) pairs, cached per metadata version.
+
+        The poll loop runs tens of thousands of times per simulated run;
+        rebuilding the partition list on every tick showed up in profiles.
+        """
+        version = self.metadata.get("version", -1)
+        cached_version, targets = self._poll_targets_cache
+        if cached_version != version:
+            targets = [
+                (key, info)
+                for key, info in self.metadata.get("partitions", {}).items()
+                if info["topic"] in self.subscriptions
+            ]
+            self._poll_targets_cache = (version, targets)
+        return targets
 
     def _fetch_partition(self, key: str, info: dict):
         leader = info.get("leader")
@@ -161,39 +191,44 @@ class Consumer:
         if reply.get("error") is not None:
             self.fetch_errors += 1
             return False
-        records = reply.get("records", [])
-        if not records:
+        batch: RecordBatch = reply["batch"]
+        count = len(batch)
+        if not count:
             return True
-        cost = self.config.cpu_per_record * len(records)
+        cost = self.config.cpu_per_record * count
         if cost > 0:
             yield from self.host.compute(cost)
         if not self.config.keep_payloads and self.on_record is None:
-            # Fast path for large experiments: count the batch without
-            # materializing a ConsumerRecord per message.
-            for wire_record in records:
-                self.records_consumed += 1
-                self.bytes_consumed += wire_record["size"]
-            self.offsets[key] = records[-1]["offset"] + 1
+            # Fast path for large experiments: the batch header already
+            # carries the count, byte total and next offset — O(1) per fetch.
+            self.records_consumed += count
+            self.bytes_consumed += batch.total_size
+            self.offsets[key] = batch.next_offset
+            if self.on_batch is not None:
+                self.on_batch(info["topic"], info["partition"], batch, self.sim.now)
             return True
-        for wire_record in records:
+        now = self.sim.now
+        topic = info["topic"]
+        partition = info["partition"]
+        for offset, record_key, value, size, produced_at in batch.iter_records():
             consumer_record = ConsumerRecord(
-                topic=info["topic"],
-                partition=info["partition"],
-                offset=wire_record["offset"],
-                key=wire_record["key"],
-                value=wire_record["value"],
-                size=wire_record["size"],
-                timestamp=wire_record["timestamp"],
-                produced_at=wire_record["produced_at"],
-                received_at=self.sim.now,
+                topic=topic,
+                partition=partition,
+                offset=offset,
+                key=record_key,
+                value=value,
+                size=size,
+                timestamp=batch.timestamp_at(offset - batch.base_offset, now),
+                produced_at=produced_at,
+                received_at=now,
             )
             self.records_consumed += 1
-            self.bytes_consumed += consumer_record.size
+            self.bytes_consumed += size
             if self.config.keep_payloads:
                 self.received.append(consumer_record)
             if self.on_record is not None:
                 self.on_record(consumer_record)
-            self.offsets[key] = wire_record["offset"] + 1
+            self.offsets[key] = offset + 1
         return True
 
     # -- metadata -----------------------------------------------------------------------

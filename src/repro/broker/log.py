@@ -1,4 +1,4 @@
-"""Append-only partition logs.
+"""Append-only partition logs (columnar, batch-native).
 
 Each partition replica is backed by a :class:`PartitionLog`: an append-only
 sequence of records with a *log end offset* (next offset to be written) and a
@@ -6,6 +6,14 @@ sequence of records with a *log end offset* (next offset to be written) and a
 replica set; only records below it are visible to consumers).  Leader
 failover and follower rejoin are implemented with epoch bookkeeping and
 truncation, which is where the ZooKeeper-mode silent message loss comes from.
+
+Storage is columnar: parallel arrays of keys/values/sizes/timestamps rather
+than one record object per entry.  The hot paths — :meth:`append_batch` on
+produce, :meth:`read_batch` on fetch — move whole :class:`RecordBatch`
+payloads with C-level list extends/slices and compute sizes once from the
+batch header.  The per-record views (:class:`LogRecord`) are materialized
+lazily only on the cold paths (tests, truncation loss accounting,
+``record_at`` debugging).
 """
 
 from __future__ import annotations
@@ -13,10 +21,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.broker.batch import EMPTY_BATCH, RecordBatch
+
 
 @dataclass
 class LogRecord:
-    """One record as stored in a partition log."""
+    """One record as viewed out of a partition log (materialized on demand)."""
 
     offset: int
     key: Any
@@ -34,8 +44,16 @@ class PartitionLog:
     def __init__(self, topic: str, partition: int = 0) -> None:
         self.topic = topic
         self.partition = partition
-        self._records: List[LogRecord] = []
+        # Columnar storage; index i holds record (base_offset + i).
+        self._keys: List[Any] = []
+        self._values: List[Any] = []
+        self._sizes: List[int] = []
+        self._timestamps: List[float] = []
+        self._produced_ats: List[float] = []
+        self._epochs: List[int] = []
+        self._headers: List[Optional[Dict[str, Any]]] = []
         self._base_offset = 0
+        self._size_bytes = 0
         self.high_watermark = 0
         #: (epoch, start_offset) pairs, newest last — Kafka's leader epoch cache.
         self.epoch_boundaries: List[Tuple[int, int]] = []
@@ -45,20 +63,29 @@ class PartitionLog:
     @property
     def log_end_offset(self) -> int:
         """The offset that the *next* appended record will receive."""
-        return self._base_offset + len(self._records)
+        return self._base_offset + len(self._values)
 
     @property
     def log_start_offset(self) -> int:
         return self._base_offset
 
     def __len__(self) -> int:
-        return len(self._records)
+        return len(self._values)
 
     @property
     def size_bytes(self) -> int:
-        return sum(record.size for record in self._records)
+        return self._size_bytes
 
     # -- writes -----------------------------------------------------------------------
+    def _note_epoch(self, leader_epoch: int, start_offset: int) -> None:
+        if self.epoch_boundaries and leader_epoch < self.epoch_boundaries[-1][0]:
+            raise ValueError(
+                f"appending with stale epoch {leader_epoch} < "
+                f"{self.epoch_boundaries[-1][0]}"
+            )
+        if not self.epoch_boundaries or self.epoch_boundaries[-1][0] != leader_epoch:
+            self.epoch_boundaries.append((leader_epoch, start_offset))
+
     def append(
         self,
         key: Any,
@@ -69,29 +96,91 @@ class PartitionLog:
         leader_epoch: int,
         headers: Optional[Dict[str, Any]] = None,
     ) -> LogRecord:
-        """Append one record and return it (offset assigned here)."""
-        if self.epoch_boundaries and leader_epoch < self.epoch_boundaries[-1][0]:
+        """Append one record and return its view (offset assigned here)."""
+        offset = self.log_end_offset
+        self._note_epoch(leader_epoch, offset)
+        self._keys.append(key)
+        self._values.append(value)
+        self._sizes.append(size)
+        self._timestamps.append(timestamp)
+        self._produced_ats.append(produced_at)
+        self._epochs.append(leader_epoch)
+        self._headers.append(dict(headers) if headers else None)
+        self._size_bytes += size
+        return self._record_view(offset - self._base_offset)
+
+    def append_batch(
+        self, batch: RecordBatch, timestamp: float, leader_epoch: int
+    ) -> int:
+        """Append a whole produce batch under one epoch; returns its base offset.
+
+        This is the leader-side hot path: one epoch check, C-level column
+        extends, and the size accounted once from the batch header.
+        """
+        base_offset = self.log_end_offset
+        count = len(batch)
+        if count == 0:
+            return base_offset
+        self._note_epoch(leader_epoch, base_offset)
+        self._keys.extend(batch.keys)
+        self._values.extend(batch.values)
+        self._sizes.extend(batch.sizes)
+        self._timestamps.extend([timestamp] * count)
+        self._produced_ats.extend(batch.produced_ats)
+        self._epochs.extend([leader_epoch] * count)
+        if batch.headers is not None:
+            self._headers.extend(batch.headers)
+        else:
+            self._headers.extend([None] * count)
+        self._size_bytes += batch.total_size
+        return base_offset
+
+    def append_wire_batch(self, batch: RecordBatch) -> int:
+        """Append a batch fetched from a leader (replication path).
+
+        The batch may overlap records we already hold (the follower refetches
+        from its LEO after a timeout); the already-present prefix is skipped.
+        Returns the number of records actually appended.
+        """
+        leo = self.log_end_offset
+        if batch.base_offset > leo:
             raise ValueError(
-                f"appending with stale epoch {leader_epoch} < "
-                f"{self.epoch_boundaries[-1][0]}"
+                f"non-contiguous append: expected offset {leo}, "
+                f"got {batch.base_offset}"
             )
-        if not self.epoch_boundaries or self.epoch_boundaries[-1][0] != leader_epoch:
-            self.epoch_boundaries.append((leader_epoch, self.log_end_offset))
-        record = LogRecord(
-            offset=self.log_end_offset,
-            key=key,
-            value=value,
-            size=size,
-            timestamp=timestamp,
-            produced_at=produced_at,
-            leader_epoch=leader_epoch,
-            headers=dict(headers or {}),
-        )
-        self._records.append(record)
-        return record
+        if batch.base_offset < leo:
+            batch = batch.tail(leo - batch.base_offset)
+        count = len(batch)
+        if count == 0:
+            return 0
+        epochs = batch.leader_epochs
+        if epochs is None:
+            self._note_epoch(batch.leader_epoch, batch.base_offset)
+            self._epochs.extend([batch.leader_epoch] * count)
+        else:
+            last = self.epoch_boundaries[-1][0] if self.epoch_boundaries else None
+            for index, epoch in enumerate(epochs):
+                if epoch != last:
+                    self._note_epoch(epoch, batch.base_offset + index)
+                    last = epoch
+            self._epochs.extend(epochs)
+        self._keys.extend(batch.keys)
+        self._values.extend(batch.values)
+        self._sizes.extend(batch.sizes)
+        self._produced_ats.extend(batch.produced_ats)
+        if batch.timestamps is not None:
+            self._timestamps.extend(batch.timestamps)
+        else:
+            self._timestamps.extend(batch.produced_ats)
+        if batch.headers is not None:
+            self._headers.extend(batch.headers)
+        else:
+            self._headers.extend([None] * count)
+        self._size_bytes += batch.total_size
+        return count
 
     def append_record(self, record: LogRecord) -> None:
-        """Append a record copied from a leader (replication path)."""
+        """Append a single record view (compat shim for tests/tools)."""
         if record.offset != self.log_end_offset:
             raise ValueError(
                 f"non-contiguous append: expected offset {self.log_end_offset}, "
@@ -99,28 +188,78 @@ class PartitionLog:
             )
         if not self.epoch_boundaries or self.epoch_boundaries[-1][0] != record.leader_epoch:
             self.epoch_boundaries.append((record.leader_epoch, record.offset))
-        self._records.append(record)
+        self._keys.append(record.key)
+        self._values.append(record.value)
+        self._sizes.append(record.size)
+        self._timestamps.append(record.timestamp)
+        self._produced_ats.append(record.produced_at)
+        self._epochs.append(record.leader_epoch)
+        self._headers.append(dict(record.headers) if record.headers else None)
+        self._size_bytes += record.size
 
     # -- reads -------------------------------------------------------------------------
+    def _clamp_range(
+        self,
+        from_offset: int,
+        max_records: Optional[int],
+        up_to: Optional[int],
+    ) -> Tuple[int, int]:
+        if from_offset < self._base_offset:
+            from_offset = self._base_offset
+        start = from_offset - self._base_offset
+        end = len(self._values)
+        if up_to is not None:
+            end = min(end, max(0, up_to - self._base_offset))
+        if max_records is not None:
+            end = min(end, start + max_records)
+        return start, max(start, end)
+
+    def read_batch(
+        self,
+        from_offset: int,
+        max_records: Optional[int] = None,
+        up_to: Optional[int] = None,
+        with_epochs: bool = False,
+    ) -> RecordBatch:
+        """Read a contiguous range as one columnar :class:`RecordBatch`.
+
+        This is the fetch-side hot path: column slices plus one size sum over
+        ints — no per-record objects.
+        """
+        start, end = self._clamp_range(from_offset, max_records, up_to)
+        if start >= end:
+            return EMPTY_BATCH
+        headers = self._headers[start:end]
+        return RecordBatch.from_columns(
+            self.topic,
+            self.partition,
+            base_offset=self._base_offset + start,
+            keys=self._keys[start:end],
+            values=self._values[start:end],
+            sizes=self._sizes[start:end],
+            produced_ats=self._produced_ats[start:end],
+            timestamps=self._timestamps[start:end],
+            leader_epochs=self._epochs[start:end] if with_epochs else None,
+            headers=headers if any(headers) else None,
+        )
+
+    def committed_read_batch(
+        self, from_offset: int, max_records: Optional[int] = None
+    ) -> RecordBatch:
+        """Batch read of records below the high watermark (consumer rule)."""
+        return self.read_batch(
+            from_offset, max_records=max_records, up_to=self.high_watermark
+        )
+
     def read(
         self,
         from_offset: int,
         max_records: Optional[int] = None,
         up_to: Optional[int] = None,
     ) -> List[LogRecord]:
-        """Read records starting at ``from_offset`` (bounded by ``up_to`` exclusive)."""
-        if from_offset < self._base_offset:
-            from_offset = self._base_offset
-        start_index = from_offset - self._base_offset
-        if start_index >= len(self._records):
-            return []
-        end_index = len(self._records)
-        if up_to is not None:
-            end_index = min(end_index, max(0, up_to - self._base_offset))
-        records = self._records[start_index:end_index]
-        if max_records is not None:
-            records = records[:max_records]
-        return records
+        """Read records starting at ``from_offset`` as materialized views."""
+        start, end = self._clamp_range(from_offset, max_records, up_to)
+        return [self._record_view(index) for index in range(start, end)]
 
     def committed_read(
         self, from_offset: int, max_records: Optional[int] = None
@@ -130,12 +269,24 @@ class PartitionLog:
 
     def record_at(self, offset: int) -> Optional[LogRecord]:
         index = offset - self._base_offset
-        if 0 <= index < len(self._records):
-            return self._records[index]
+        if 0 <= index < len(self._values):
+            return self._record_view(index)
         return None
 
     def all_records(self) -> List[LogRecord]:
-        return list(self._records)
+        return [self._record_view(index) for index in range(len(self._values))]
+
+    def _record_view(self, index: int) -> LogRecord:
+        return LogRecord(
+            offset=self._base_offset + index,
+            key=self._keys[index],
+            value=self._values[index],
+            size=self._sizes[index],
+            timestamp=self._timestamps[index],
+            produced_at=self._produced_ats[index],
+            leader_epoch=self._epochs[index],
+            headers=self._headers[index] or {},
+        )
 
     # -- watermark / truncation ------------------------------------------------------------
     def advance_high_watermark(self, offset: int) -> None:
@@ -157,8 +308,17 @@ class PartitionLog:
         if offset >= self.log_end_offset:
             return []
         keep = max(0, offset - self._base_offset)
-        discarded = self._records[keep:]
-        self._records = self._records[:keep]
+        discarded = [
+            self._record_view(index) for index in range(keep, len(self._values))
+        ]
+        del self._keys[keep:]
+        del self._values[keep:]
+        del self._timestamps[keep:]
+        del self._produced_ats[keep:]
+        del self._epochs[keep:]
+        del self._headers[keep:]
+        self._size_bytes -= sum(self._sizes[keep:])
+        del self._sizes[keep:]
         self.truncated_records += len(discarded)
         self.high_watermark = min(self.high_watermark, self.log_end_offset)
         self.epoch_boundaries = [

@@ -2,32 +2,46 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 from repro.network.packet import estimate_size
 
 
-@dataclass
 class ProducerRecord:
     """A record handed to :class:`~repro.broker.producer.Producer.send`.
 
     Mirrors Kafka's ``ProducerRecord``: a topic, an optional key (used for
-    partitioning), a value, and optional headers.
+    partitioning), a value, and optional headers.  A ``__slots__`` class —
+    one instance exists per produced record, so construction is hot.
     """
 
-    topic: str
-    value: Any
-    key: Optional[Any] = None
-    partition: Optional[int] = None
-    headers: Dict[str, Any] = field(default_factory=dict)
-    size: Optional[int] = None
+    __slots__ = ("topic", "value", "key", "partition", "headers", "size")
 
-    def __post_init__(self) -> None:
-        if self.size is None:
-            self.size = estimate_size(self.value) + estimate_size(self.key, floor=0)
-        if self.size < 0:
+    def __init__(
+        self,
+        topic: str,
+        value: Any,
+        key: Optional[Any] = None,
+        partition: Optional[int] = None,
+        headers: Optional[Dict[str, Any]] = None,
+        size: Optional[int] = None,
+    ) -> None:
+        self.topic = topic
+        self.value = value
+        self.key = key
+        self.partition = partition
+        self.headers = {} if headers is None else headers
+        if size is None:
+            size = estimate_size(value) + estimate_size(key, floor=0)
+        elif size < 0:
             raise ValueError("record size must be non-negative")
+        self.size = size
+
+    def __repr__(self) -> str:
+        return (
+            f"ProducerRecord(topic={self.topic!r}, key={self.key!r}, "
+            f"partition={self.partition}, size={self.size})"
+        )
 
     def partition_for(self, n_partitions: int, fallback: int = 0) -> int:
         """Choose the partition: explicit, key-hash, or round-robin fallback."""
@@ -37,25 +51,48 @@ class ProducerRecord:
                     f"partition {self.partition} out of range [0, {n_partitions})"
                 )
             return self.partition
+        if n_partitions == 1:
+            # Single-partition topic: every strategy lands on 0; skip hashing.
+            return 0
         if self.key is not None:
             return _stable_hash(self.key) % n_partitions
         return fallback % n_partitions
 
 
-@dataclass(frozen=True)
 class RecordMetadata:
-    """Returned to producers when a record is acknowledged."""
+    """Returned to producers when a record is acknowledged.
 
-    topic: str
-    partition: int
-    offset: int
-    timestamp: float
-    produced_at: float
+    A plain ``__slots__`` class: one instance is created per acknowledged
+    record on the producer hot path, so construction cost matters.
+    """
+
+    __slots__ = ("topic", "partition", "offset", "timestamp", "produced_at")
+
+    def __init__(
+        self,
+        topic: str,
+        partition: int,
+        offset: int,
+        timestamp: float,
+        produced_at: float,
+    ) -> None:
+        self.topic = topic
+        self.partition = partition
+        self.offset = offset
+        self.timestamp = timestamp
+        self.produced_at = produced_at
 
     @property
     def commit_latency(self) -> float:
         """Time between the application's send() call and the acknowledgement."""
         return self.timestamp - self.produced_at
+
+    def __repr__(self) -> str:
+        return (
+            f"RecordMetadata(topic={self.topic!r}, partition={self.partition}, "
+            f"offset={self.offset}, timestamp={self.timestamp}, "
+            f"produced_at={self.produced_at})"
+        )
 
 
 def _stable_hash(value: Any) -> int:

@@ -21,9 +21,10 @@ delivery-matrix experiment (Figure 6b) reads back.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Deque, Dict, List, Optional
 
+from repro.broker.batch import RecordBatch
 from repro.broker.broker import BROKER_PORT
 from repro.broker.errors import DeliveryFailed
 from repro.broker.message import ProducerRecord, RecordMetadata
@@ -69,28 +70,39 @@ class ProducerConfig:
             raise ValueError("acks must be 0, 1 or 'all'")
 
 
-@dataclass
 class PendingRecord:
     """A record sitting in the accumulator awaiting acknowledgement."""
 
-    record: ProducerRecord
-    partition: int
-    future: Event
-    enqueued_at: float
-    sequence: int
+    __slots__ = ("record", "partition", "future", "enqueued_at", "sequence")
+
+    def __init__(
+        self,
+        record: ProducerRecord,
+        partition: int,
+        future: Event,
+        enqueued_at: float,
+        sequence: int,
+    ) -> None:
+        self.record = record
+        self.partition = partition
+        self.future = future
+        self.enqueued_at = enqueued_at
+        self.sequence = sequence
 
 
-@dataclass
 class DeliveryReport:
     """Final outcome of one record (kept for experiment post-processing)."""
 
-    sequence: int
-    topic: str
-    key: Any
-    enqueued_at: float
-    acknowledged_at: Optional[float] = None
-    failed_at: Optional[float] = None
-    offset: Optional[int] = None
+    __slots__ = ("sequence", "topic", "key", "enqueued_at", "acknowledged_at", "failed_at", "offset")
+
+    def __init__(self, sequence: int, topic: str, key: Any, enqueued_at: float) -> None:
+        self.sequence = sequence
+        self.topic = topic
+        self.key = key
+        self.enqueued_at = enqueued_at
+        self.acknowledged_at: Optional[float] = None
+        self.failed_at: Optional[float] = None
+        self.offset: Optional[int] = None
 
     @property
     def acknowledged(self) -> bool:
@@ -129,8 +141,10 @@ class Producer:
         self.records_sent = 0
         self.records_acked = 0
         self.records_failed = 0
+        #: One report per send, appended in sequence order — ``reports[seq]``
+        #: is the report for sequence ``seq`` (no side dict needed).
         self.reports: List[DeliveryReport] = []
-        self._reports_by_sequence: Dict[int, DeliveryReport] = {}
+        self._partition_count_cache: tuple = (None, None)
         host.register_component(self)
 
     # -- lifecycle -------------------------------------------------------------------
@@ -156,23 +170,13 @@ class Producer:
     def send(self, record: ProducerRecord) -> Event:
         """Queue a record for delivery; returns a future firing with RecordMetadata."""
         future = self.sim.event()
+        now = self.sim.now
         n_partitions = self._partition_count(record.topic)
         partition = record.partition_for(n_partitions, fallback=self._sequence)
-        pending = PendingRecord(
-            record=record,
-            partition=partition,
-            future=future,
-            enqueued_at=self.sim.now,
-            sequence=self._sequence,
+        pending = PendingRecord(record, partition, future, now, self._sequence)
+        self.reports.append(
+            DeliveryReport(self._sequence, record.topic, record.key, now)
         )
-        report = DeliveryReport(
-            sequence=self._sequence,
-            topic=record.topic,
-            key=record.key,
-            enqueued_at=self.sim.now,
-        )
-        self.reports.append(report)
-        self._reports_by_sequence[pending.sequence] = report
         self._sequence += 1
         self.records_sent += 1
         if self._buffer_used + record.size <= self.config.buffer_memory:
@@ -198,8 +202,14 @@ class Producer:
         queued = self._queued_bytes.get(key, 0) + pending.record.size
         self._queued_bytes[key] = queued
         # Size-triggered eager flush: a full batch goes out now instead of
-        # waiting (up to ``linger``) for the sender loop's next tick.
-        self._maybe_schedule_flush(key)
+        # waiting (up to ``linger``) for the sender loop's next tick.  The
+        # threshold check lives here (before the call) so under-filled
+        # enqueues — the common case — pay no extra function call.
+        if (
+            queued >= self.config.batch_size
+            or len(queue) >= self.config.max_batch_records
+        ):
+            self._maybe_schedule_flush(key)
 
     def _maybe_schedule_flush(self, key: str) -> None:
         """Schedule an immediate flush if a full batch is waiting.
@@ -233,20 +243,32 @@ class Producer:
         """Drain and transmit one partition's batch if one is ready."""
         if not self.running or key in self._in_flight:
             return
-        batch = self._drain_batch(key)
+        batch, wire_batch = self._drain_batch(key)
         if not batch:
             return
         self._in_flight.add(key)
         self.sim.process(
-            self._send_batch_guarded(key, batch), name=f"{self.name}:send:{key}"
+            self._send_batch_guarded(key, batch, wire_batch),
+            name=f"{self.name}:send:{key}",
         )
 
     def _partition_count(self, topic: str) -> int:
-        count = 0
-        for info in self.metadata.get("partitions", {}).values():
-            if info["topic"] == topic:
-                count = max(count, info["partition"] + 1)
-        return count or 1
+        """Partition count per topic, cached per metadata version.
+
+        ``send`` calls this once per record; rescanning the whole partition
+        map each time dominated the client-side cost at high record rates.
+        """
+        version = self.metadata.get("version", -1)
+        cached_version, counts = self._partition_count_cache
+        if cached_version != version:
+            counts = {}
+            for info in self.metadata.get("partitions", {}).values():
+                topic_name = info["topic"]
+                counts[topic_name] = max(
+                    counts.get(topic_name, 0), info["partition"] + 1
+                )
+            self._partition_count_cache = (version, counts)
+        return counts.get(topic, 0) or 1
 
     # -- sender machinery -----------------------------------------------------------------
     def _sender_loop(self):
@@ -266,9 +288,9 @@ class Producer:
                 # retrying the remote one).
                 self._flush_key(key)
 
-    def _send_batch_guarded(self, key: str, batch: List[PendingRecord]):
+    def _send_batch_guarded(self, key: str, batch: List[PendingRecord], wire_batch: RecordBatch):
         try:
-            yield from self._send_batch(key, batch)
+            yield from self._send_batch(key, batch, wire_batch)
         finally:
             self._in_flight.discard(key)
             # The freed in-flight slot immediately serves the next full
@@ -276,6 +298,8 @@ class Producer:
             self._maybe_schedule_flush(key)
 
     def _admit_waiting_records(self) -> None:
+        if not self._waiting_for_buffer:
+            return
         admitted = []
         for pending in self._waiting_for_buffer:
             if self._buffer_used + pending.record.size <= self.config.buffer_memory:
@@ -285,27 +309,48 @@ class Producer:
         for pending in admitted:
             self._waiting_for_buffer.remove(pending)
 
-    def _drain_batch(self, key: str) -> List[PendingRecord]:
+    def _drain_batch(self, key: str):
+        """Pop one ready batch off the accumulator.
+
+        Returns ``(pending_records, wire_batch)`` built in a single pass: the
+        wire :class:`RecordBatch` is the one object per flush that travels to
+        the broker (and is reused verbatim across retries — the broker never
+        mutates it); the pending list keeps the futures/report bookkeeping.
+        """
         queue = self._accumulator.get(key)
         if not queue:
-            return []
+            return [], None
+        first = queue[0]
+        wire_batch = RecordBatch(first.record.topic, first.partition)
         batch: List[PendingRecord] = []
         size = 0
-        while queue and len(batch) < self.config.max_batch_records:
+        max_records = self.config.max_batch_records
+        batch_size = self.config.batch_size
+        while queue and len(batch) < max_records:
             candidate = queue[0]
-            if batch and size + candidate.record.size > self.config.batch_size:
+            record = candidate.record
+            if batch and size + record.size > batch_size:
                 break
-            batch.append(queue.popleft())
-            size += candidate.record.size
+            queue.popleft()
+            batch.append(candidate)
+            size += record.size
+            wire_batch.append(
+                record.key,
+                record.value,
+                record.size,
+                produced_at=candidate.enqueued_at,
+                headers=record.headers,
+            )
         if size:
             self._queued_bytes[key] = self._queued_bytes.get(key, 0) - size
-        return batch
+        return batch, wire_batch
 
-    def _send_batch(self, key: str, batch: List[PendingRecord]):
-        topic = batch[0].record.topic
-        partition = batch[0].partition
+    def _send_batch(self, key: str, batch: List[PendingRecord], wire_batch: RecordBatch):
+        topic = wire_batch.topic
+        partition = wire_batch.partition
         deadline = min(p.enqueued_at for p in batch) + self.config.delivery_timeout
         attempts = 0
+        request_size = wire_batch.wire_size + 35
         while self.running:
             if self.sim.now >= deadline or attempts > self.config.retries:
                 self._fail_batch(batch, reason="delivery timeout")
@@ -316,17 +361,6 @@ class Producer:
                 yield from self._refresh_metadata()
                 attempts += 1
                 continue
-            wire_records = [
-                {
-                    "key": p.record.key,
-                    "value": p.record.value,
-                    "size": p.record.size,
-                    "produced_at": p.enqueued_at,
-                    "headers": p.record.headers,
-                }
-                for p in batch
-            ]
-            request_size = sum(p.record.size for p in batch) + 96
             try:
                 reply = yield from self.transport.request(
                     leader_host,
@@ -335,7 +369,7 @@ class Producer:
                         "type": "produce",
                         "topic": topic,
                         "partition": partition,
-                        "records": wire_records,
+                        "batch": wire_batch,
                         "acks": self.config.acks,
                     },
                     size=request_size,
@@ -365,28 +399,28 @@ class Producer:
     def _ack_batch(
         self, batch: List[PendingRecord], base_offset: int, topic: str, partition: int
     ) -> None:
+        now = self.sim.now
+        reports = self.reports
+        freed = 0
         for index, pending in enumerate(batch):
-            metadata = RecordMetadata(
-                topic=topic,
-                partition=partition,
-                offset=base_offset + index,
-                timestamp=self.sim.now,
-                produced_at=pending.enqueued_at,
-            )
-            self._buffer_used -= pending.record.size
-            self.records_acked += 1
-            report = self._reports_by_sequence[pending.sequence]
-            report.acknowledged_at = self.sim.now
-            report.offset = metadata.offset
+            offset = base_offset + index
+            freed += pending.record.size
+            report = reports[pending.sequence]
+            report.acknowledged_at = now
+            report.offset = offset
             if not pending.future.triggered:
-                pending.future.succeed(metadata)
+                pending.future.succeed(
+                    RecordMetadata(topic, partition, offset, now, pending.enqueued_at)
+                )
+        self._buffer_used -= freed
+        self.records_acked += len(batch)
 
     def _fail_batch(self, batch: List[PendingRecord], reason: str) -> None:
+        now = self.sim.now
         for pending in batch:
             self._buffer_used -= pending.record.size
             self.records_failed += 1
-            report = self._reports_by_sequence[pending.sequence]
-            report.failed_at = self.sim.now
+            self.reports[pending.sequence].failed_at = now
             if not pending.future.triggered:
                 failure = pending.future
                 failure._defused = True  # experiment code may ignore the future

@@ -5,11 +5,17 @@ of the current micro-batch (and, for stateful operators, their private
 state), they return the transformed list.  The engine charges CPU time per
 processed element separately (see :mod:`repro.engine.executor`), keeping the
 functional logic here deterministic and easily unit-testable.
+
+Size-carry: every derivation goes through ``StreamRecord.with_value``, which
+defers re-sizing of the new value until a sink or the batch accounting
+actually observes it (see :mod:`repro.engine.records`).  Operators therefore
+never trigger ``estimate_size`` themselves — an n-stage pipeline sizes each
+record at most once, at ingest or at the observation point, not per hop.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict, deque
+from collections import deque
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.engine.records import StreamRecord
@@ -92,17 +98,21 @@ class ReduceByKeyOperator(Operator):
         self.fn = fn
 
     def apply(self, batch: List[StreamRecord], now: float) -> List[StreamRecord]:
-        grouped: Dict[Any, List[StreamRecord]] = defaultdict(list)
+        # Fold values directly while grouping: no per-key record lists.
+        fn = self.fn
+        accumulators: Dict[Any, Any] = {}
+        representatives: Dict[Any, StreamRecord] = {}
         for record in batch:
-            grouped[record.key].append(record)
-        output = []
-        for key, records in grouped.items():
-            accumulator = records[0].value
-            for record in records[1:]:
-                accumulator = self.fn(accumulator, record.value)
-            representative = records[0]
-            output.append(representative.with_value(accumulator, key=key))
-        return output
+            key = record.key
+            if key in accumulators:
+                accumulators[key] = fn(accumulators[key], record.value)
+            else:
+                accumulators[key] = record.value
+                representatives[key] = record
+        return [
+            representatives[key].with_value(value, key=key)
+            for key, value in accumulators.items()
+        ]
 
 
 class GroupByKeyOperator(Operator):
@@ -111,12 +121,18 @@ class GroupByKeyOperator(Operator):
     name = "group_by_key"
 
     def apply(self, batch: List[StreamRecord], now: float) -> List[StreamRecord]:
-        grouped: Dict[Any, List[StreamRecord]] = defaultdict(list)
+        grouped: Dict[Any, List[Any]] = {}
+        representatives: Dict[Any, StreamRecord] = {}
         for record in batch:
-            grouped[record.key].append(record)
+            key = record.key
+            if key in grouped:
+                grouped[key].append(record.value)
+            else:
+                grouped[key] = [record.value]
+                representatives[key] = record
         return [
-            records[0].with_value([record.value for record in records], key=key)
-            for key, records in grouped.items()
+            representatives[key].with_value(values, key=key)
+            for key, values in grouped.items()
         ]
 
 
@@ -169,14 +185,20 @@ class UpdateStateByKeyOperator(Operator):
         self.state: Dict[Any, Any] = {}
 
     def apply(self, batch: List[StreamRecord], now: float) -> List[StreamRecord]:
-        grouped: Dict[Any, List[StreamRecord]] = defaultdict(list)
+        grouped: Dict[Any, List[Any]] = {}
+        representatives: Dict[Any, StreamRecord] = {}
         for record in batch:
-            grouped[record.key].append(record)
+            key = record.key
+            if key in grouped:
+                grouped[key].append(record.value)
+            else:
+                grouped[key] = [record.value]
+                representatives[key] = record
         output = []
-        for key, records in grouped.items():
-            new_state = self.fn([record.value for record in records], self.state.get(key))
+        for key, values in grouped.items():
+            new_state = self.fn(values, self.state.get(key))
             self.state[key] = new_state
-            output.append(records[0].with_value(new_state, key=key))
+            output.append(representatives[key].with_value(new_state, key=key))
         return output
 
     def reset(self) -> None:
@@ -200,15 +222,18 @@ class JoinOperator(Operator):
         self._right = batch
 
     def apply(self, batch: List[StreamRecord], now: float) -> List[StreamRecord]:
-        right_by_key: Dict[Any, List[StreamRecord]] = defaultdict(list)
+        right_by_key: Dict[Any, List[Any]] = {}
         for record in self._right:
-            right_by_key[record.key].append(record)
+            right_by_key.setdefault(record.key, []).append(record.value)
         output = []
         for left in batch:
-            for right in right_by_key.get(left.key, []):
-                output.append(
-                    left.with_value((left.value, right.value), key=left.key)
-                )
+            right_values = right_by_key.get(left.key)
+            if right_values:
+                left_value = left.value
+                for right_value in right_values:
+                    output.append(
+                        left.with_value((left_value, right_value), key=left.key)
+                    )
         return output
 
     def reset(self) -> None:

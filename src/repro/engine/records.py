@@ -1,14 +1,34 @@
-"""Record type flowing through the stream processing engine."""
+"""Record type flowing through the stream processing engine.
+
+Size-carry rules
+----------------
+``size`` is needed only where it is *observed* — input-byte accounting at the
+micro-batch boundary and re-publication through a Kafka sink.  The old code
+re-ran :func:`~repro.network.packet.estimate_size` eagerly at every operator
+hop (``with_value(resize=True)``), dominating pipeline cost.  Records now
+carry sizes lazily:
+
+* a record constructed with an explicit positive ``size`` (e.g. from a wire
+  batch at ingest) keeps it verbatim — ``estimate_size`` never runs;
+* a record constructed without a size estimates it **once**, on first read,
+  and caches the result;
+* ``with_value(resize=True)`` (the default) defers sizing of the new value —
+  nothing is computed unless someone reads ``size`` downstream;
+* ``with_value(resize=False)`` carries the parent's size through unchanged.
+
+Observed values are byte-identical to the eager path (``estimate_size`` is a
+pure function of the value), so simulated traces do not change — only the
+number of times the estimator runs does: at most once per record, at the
+point of observation, instead of once per hop.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Any, Optional
+from typing import Any
 
 from repro.network.packet import estimate_size
 
 
-@dataclass
 class StreamRecord:
     """One element of a DStream.
 
@@ -26,29 +46,56 @@ class StreamRecord:
         When the stream processing engine received the element.
     size:
         Approximate serialized size in bytes (used for network accounting
-        when the element is re-published to the broker).
+        when the element is re-published to the broker).  Computed lazily —
+        see the module docstring for the size-carry rules.
     """
 
-    value: Any
-    key: Any = None
-    event_time: float = 0.0
-    ingest_time: float = 0.0
-    size: int = 0
+    __slots__ = ("value", "key", "event_time", "ingest_time", "_size")
 
-    def __post_init__(self) -> None:
-        if self.size <= 0:
-            self.size = estimate_size(self.value)
+    def __init__(
+        self,
+        value: Any,
+        key: Any = None,
+        event_time: float = 0.0,
+        ingest_time: float = 0.0,
+        size: int = 0,
+    ) -> None:
+        self.value = value
+        self.key = key
+        self.event_time = event_time
+        self.ingest_time = ingest_time
+        self._size = size if size > 0 else None
+
+    @property
+    def size(self) -> int:
+        if self._size is None:
+            self._size = estimate_size(self.value)
+        return self._size
+
+    @size.setter
+    def size(self, value: int) -> None:
+        self._size = value if value > 0 else None
 
     def with_value(self, value: Any, key: Any = None, resize: bool = True) -> "StreamRecord":
-        """Derive a new record with the same provenance but a new payload."""
-        return StreamRecord(
-            value=value,
-            key=key if key is not None else self.key,
-            event_time=self.event_time,
-            ingest_time=self.ingest_time,
-            size=estimate_size(value) if resize else self.size,
-        )
+        """Derive a new record with the same provenance but a new payload.
+
+        ``resize=True`` (default) defers sizing of the new value until it is
+        observed; ``resize=False`` carries this record's size through.
+        """
+        clone = StreamRecord.__new__(StreamRecord)
+        clone.value = value
+        clone.key = key if key is not None else self.key
+        clone.event_time = self.event_time
+        clone.ingest_time = self.ingest_time
+        clone._size = None if resize else self.size
+        return clone
 
     def age(self, now: float) -> float:
         """Time since the element was created at its source."""
         return now - self.event_time
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamRecord(value={self.value!r}, key={self.key!r}, "
+            f"event_time={self.event_time}, ingest_time={self.ingest_time})"
+        )

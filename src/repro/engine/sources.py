@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, List, Optional
 
+from repro.broker.batch import RecordBatch
 from repro.broker.consumer import Consumer, ConsumerConfig, ConsumerRecord
 from repro.engine.records import StreamRecord
 
@@ -56,10 +57,13 @@ class MemorySource(Source):
 class KafkaSource(Source):
     """A receiver that consumes records from the event streaming platform.
 
-    Wraps a :class:`~repro.broker.consumer.Consumer` whose ``on_record``
-    callback feeds the micro-batch buffer.  The original produce timestamp is
-    preserved as the stream record's ``event_time`` so end-to-end latency can
-    be measured after several pipeline stages.
+    Wraps a :class:`~repro.broker.consumer.Consumer` feeding the micro-batch
+    buffer.  When no per-record ``value_from_record`` hook is needed, the
+    consumer hands over whole :class:`RecordBatch` objects and the source
+    decodes them straight into :class:`StreamRecord` elements — no
+    intermediate ``ConsumerRecord`` (or dict) per message.  The original
+    produce timestamp is preserved as the stream record's ``event_time`` so
+    end-to-end latency can be measured after several pipeline stages.
     """
 
     def __init__(
@@ -74,15 +78,39 @@ class KafkaSource(Source):
         super().__init__(name=name or f"kafka-source-{host.name}")
         config = consumer_config or ConsumerConfig(keep_payloads=False)
         self.value_from_record = value_from_record
+        # The batch fast path only applies while nothing demands per-record
+        # ConsumerRecord objects (custom value hook or kept payloads).
+        batch_native = value_from_record is None and not config.keep_payloads
         self.consumer = Consumer(
             host,
             bootstrap=bootstrap,
             config=config,
             name=f"{self.name}-consumer",
-            on_record=self._on_record,
+            on_record=None if batch_native else self._on_record,
+            on_batch=self._on_wire_batch if batch_native else None,
         )
         self.consumer.subscribe(topics)
         self.host = host
+
+    def _on_wire_batch(
+        self, topic: str, partition: int, batch: RecordBatch, received_at: float
+    ) -> None:
+        """Decode one fetched batch straight into pending stream records."""
+        pending = self._pending
+        keys = batch.keys
+        sizes = batch.sizes
+        produced_ats = batch.produced_ats
+        for index, value in enumerate(batch.values):
+            pending.append(
+                StreamRecord(
+                    value,
+                    keys[index],
+                    produced_ats[index],
+                    received_at,
+                    sizes[index],
+                )
+            )
+        self.records_ingested += len(batch)
 
     def _on_record(self, record: ConsumerRecord) -> None:
         value = record.value

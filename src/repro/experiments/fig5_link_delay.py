@@ -20,6 +20,7 @@ from typing import Dict, List
 
 from repro.apps.word_count import AVERAGE_TOPIC, WORDS_TOPIC, create_task
 from repro.core.emulation import Emulation
+from repro.workloads import pregenerated
 from repro.workloads.text import generate_documents
 
 #: The four components whose access link is swept, as named in the paper.
@@ -101,7 +102,9 @@ def run_single(component: str, delay_ms: float, config: Fig5Config) -> List[floa
         per_component_latency={role: delay_ms},
         files_per_second=config.files_per_second,
     )
-    documents = generate_documents(config.n_documents, seed=config.seed)
+    # Pre-generated: every sweep point replays the identical seeded corpus,
+    # so synthesis runs once for the whole figure.
+    documents = pregenerated(generate_documents, config.n_documents, seed=config.seed)
     emulation = Emulation(task, seed=config.seed, datasets={"documents": documents})
     emulation.run(duration=config.duration)
     return _end_to_end_latencies(emulation)

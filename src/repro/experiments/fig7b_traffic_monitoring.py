@@ -25,7 +25,8 @@ from repro.engine import ExecutorConfig, StreamingConfig, StreamingContext
 from repro.network.link import LinkConfig
 from repro.network.topology import one_big_switch
 from repro.simulation import Simulator
-from repro.workloads.nettraffic import generate_user_traffic
+from repro.workloads import pregenerated
+from repro.workloads.nettraffic import generate_traffic_batches, service_name
 
 
 @dataclass
@@ -84,22 +85,25 @@ def run_single(n_users: int, config: Fig7bConfig) -> Dict[str, float]:
     )
 
     def summarize(slot_report: dict) -> dict:
-        packets = slot_report["packets"]
-        by_service: Dict[str, dict] = {}
-        for packet in packets:
-            entry = by_service.setdefault(
-                packet["service"], {"packets": 0, "bytes": 0, "users": set()}
-            )
-            entry["packets"] += 1
-            entry["bytes"] += packet["size"]
-            entry["users"].add(packet["user"])
+        # One report covers one user's packets for one slot; the packet
+        # columns arrive as parallel arrays straight from the workload batch.
+        service_ids = slot_report["service_ids"]
+        sizes = slot_report["sizes"]
+        by_service: Dict[int, list] = {}
+        for index, service_id in enumerate(service_ids):
+            entry = by_service.get(service_id)
+            if entry is None:
+                by_service[service_id] = [1, sizes[index]]
+            else:
+                entry[0] += 1
+                entry[1] += sizes[index]
         return {
-            service: {
-                "packets": entry["packets"],
-                "bytes": entry["bytes"],
-                "active_users": len(entry["users"]),
+            service_name(service_id): {
+                "packets": entry[0],
+                "bytes": entry[1],
+                "active_users": 1,
             }
-            for service, entry in by_service.items()
+            for service_id, entry in by_service.items()
         }
 
     stream = ctx.kafka_stream(["mirrored-packets"])
@@ -111,7 +115,8 @@ def run_single(n_users: int, config: Fig7bConfig) -> Dict[str, float]:
         config=ProducerConfig(buffer_memory=64 * 1024 * 1024),
         name="mirror-producer",
     )
-    traffic = generate_user_traffic(
+    traffic = pregenerated(
+        generate_traffic_batches,
         n_users=n_users,
         duration_s=config.slots,
         packets_per_user_per_s=config.packets_per_user_per_s,
@@ -122,20 +127,19 @@ def run_single(n_users: int, config: Fig7bConfig) -> Dict[str, float]:
         yield sim.timeout(5.0)
         producer.start()
         ctx.start()
-        for second, slot in enumerate(traffic):
+        for slot in traffic:
             # One mirrored report per user per second (the per-switch sFlow-style
             # export used by the original system), sized by its packet volume.
-            by_user: Dict[int, List[dict]] = {}
-            for packet in slot:
-                by_user.setdefault(packet["user"], []).append(packet)
-            for user, packets in by_user.items():
-                size = sum(packet["size"] for packet in packets) // 20
+            # The batch already groups packets by user with byte totals, so no
+            # per-packet work happens inside the simulation loop.
+            second = slot.second
+            for user, value, size in slot.iter_user_reports():
                 producer.send(
                     ProducerRecord(
                         topic="mirrored-packets",
                         key=f"{second}-{user}",
-                        value={"slot": second, "user": user, "packets": packets},
-                        size=max(256, size),
+                        value=value,
+                        size=size,
                     )
                 )
             yield sim.timeout(1.0)

@@ -27,6 +27,7 @@ from repro.apps.word_count import create_task
 from repro.core.emulation import Emulation
 from repro.experiments.fig5_link_delay import _end_to_end_latencies
 from repro.simulation.rng import SeededRandom
+from repro.workloads import pregenerated
 from repro.workloads.text import generate_documents
 
 
@@ -118,7 +119,8 @@ def run_single(
         per_component_latency={role: delay_ms},
         files_per_second=config.files_per_second,
     )
-    documents = generate_documents(config.n_documents, seed=config.seed)
+    # Pre-generated: the (component, delay, profile) sweep replays one corpus.
+    documents = pregenerated(generate_documents, config.n_documents, seed=config.seed)
     emulation = Emulation(task, seed=config.seed, datasets={"documents": documents})
     emulation.build()
     for switch in emulation.network.switches.values():

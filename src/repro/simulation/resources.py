@@ -14,8 +14,9 @@ Three families of primitives are provided:
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from itertools import count
-from typing import Any, Generic, List, Optional, TypeVar
+from typing import Any, Deque, Generic, List, Optional, TypeVar
 
 from repro.simulation.events import Event
 
@@ -43,6 +44,12 @@ class Store(Generic[T]):
 
     ``put`` events succeed immediately while the store has capacity and block
     otherwise; ``get`` events succeed immediately while items are available.
+
+    Both directions have a *waiter-free fast path* (mirroring the link pump):
+    when nothing is queued ahead, a ``put`` with spare capacity or a ``get``
+    with items available succeeds inline without touching the waiter queues.
+    The waiter queues themselves are deques — the old ``pop(0)`` lists went
+    quadratic under bursts.
     """
 
     def __init__(self, sim: "Simulator", capacity: float = float("inf")) -> None:  # noqa: F821
@@ -50,9 +57,9 @@ class Store(Generic[T]):
             raise ValueError("capacity must be positive")
         self.sim = sim
         self.capacity = capacity
-        self.items: List[T] = []
-        self._put_queue: List[StorePut] = []
-        self._get_queue: List[StoreGet] = []
+        self.items: Deque[T] = deque()
+        self._put_queue: Deque[StorePut] = deque()
+        self._get_queue: Deque[StoreGet] = deque()
 
     def __len__(self) -> int:
         return len(self.items)
@@ -67,21 +74,35 @@ class Store(Generic[T]):
 
     def put(self, item: T) -> StorePut:
         event = StorePut(self, item)
-        self._put_queue.append(event)
-        self._trigger_puts()
-        self._trigger_gets()
+        if not self._put_queue and len(self.items) < self.capacity:
+            # Fast path: capacity available and FIFO order preserved (nobody
+            # is queued ahead) — accept inline.
+            self._push(item)
+            event.succeed()
+            if self._get_queue:
+                self._trigger_gets()
+        else:
+            self._put_queue.append(event)
+            self._trigger_puts()
+            self._trigger_gets()
         return event
 
     def get(self) -> StoreGet:
         event = StoreGet(self.sim)
-        self._get_queue.append(event)
-        self._trigger_gets()
+        if not self._get_queue and self.items:
+            # Fast path: item ready and no waiter queued ahead.
+            event.succeed(self._pop_next())
+            if self._put_queue:
+                self._trigger_puts()
+        else:
+            self._get_queue.append(event)
+            self._trigger_gets()
         return event
 
     def try_get(self) -> Optional[T]:
         """Non-blocking get: pop an item if one is immediately available."""
         if self.items:
-            item = self.items.pop(0)
+            item = self._pop_next()
             self._trigger_puts()
             return item
         return None
@@ -89,39 +110,48 @@ class Store(Generic[T]):
     def peek(self) -> Optional[T]:
         return self.items[0] if self.items else None
 
+    # -- storage policy (overridden by PriorityStore) ---------------------------
+    def _push(self, item: T) -> None:
+        self.items.append(item)
+
+    def _pop_next(self) -> T:
+        return self.items.popleft()
+
     # -- internal --------------------------------------------------------------
     def _do_put(self, event: StorePut) -> bool:
         if len(self.items) < self.capacity:
-            self.items.append(event.item)
+            self._push(event.item)
             event.succeed()
             return True
         return False
 
     def _do_get(self, event: StoreGet) -> bool:
         if self.items:
-            event.succeed(self.items.pop(0))
+            event.succeed(self._pop_next())
             return True
         return False
 
     def _trigger_puts(self) -> None:
-        while self._put_queue:
-            event = self._put_queue[0]
+        queue = self._put_queue
+        while queue:
+            event = queue[0]
             if event.triggered:
-                self._put_queue.pop(0)
+                queue.popleft()
                 continue
             if self._do_put(event):
-                self._put_queue.pop(0)
+                queue.popleft()
             else:
                 break
 
     def _trigger_gets(self) -> None:
-        while self._get_queue:
-            event = self._get_queue[0]
+        queue = self._get_queue
+        while queue:
+            event = queue[0]
             if event.triggered:
-                self._get_queue.pop(0)
+                queue.popleft()
                 continue
             if self._do_get(event):
-                self._get_queue.pop(0)
+                queue.popleft()
                 self._trigger_puts()
             else:
                 break
@@ -132,20 +162,14 @@ class PriorityStore(Store[T]):
 
     def __init__(self, sim: "Simulator", capacity: float = float("inf")) -> None:  # noqa: F821
         super().__init__(sim, capacity)
+        self.items: List[T] = []  # heap invariant — a list, not a deque
         self._counter = count()
 
-    def _do_put(self, event: StorePut) -> bool:
-        if len(self.items) < self.capacity:
-            heapq.heappush(self.items, event.item)
-            event.succeed()
-            return True
-        return False
+    def _push(self, item: T) -> None:
+        heapq.heappush(self.items, item)
 
-    def _do_get(self, event: StoreGet) -> bool:
-        if self.items:
-            event.succeed(heapq.heappop(self.items))
-            return True
-        return False
+    def _pop_next(self) -> T:
+        return heapq.heappop(self.items)
 
 
 class ResourceRequest(Event):
@@ -168,7 +192,11 @@ class ResourceRequest(Event):
 
 
 class Resource:
-    """A counted resource (e.g. CPU cores, connection slots)."""
+    """A counted resource (e.g. CPU cores, connection slots).
+
+    FIFO waiters live in a deque; the grant-on-request and the
+    release-with-no-waiters cases never touch it.
+    """
 
     def __init__(self, sim: "Simulator", capacity: int = 1) -> None:  # noqa: F821
         if capacity <= 0:
@@ -176,7 +204,7 @@ class Resource:
         self.sim = sim
         self.capacity = capacity
         self.users: List[ResourceRequest] = []
-        self.queue: List[ResourceRequest] = []
+        self.queue: Deque[ResourceRequest] = deque()
 
     @property
     def in_use(self) -> int:
@@ -201,9 +229,15 @@ class Resource:
         elif request in self.queue:
             self.queue.remove(request)
             return
-        while self.queue and len(self.users) < self.capacity:
-            waiter = self.queue.pop(0)
-            self.users.append(waiter)
+        queue = self.queue
+        if not queue:
+            # Fast path: uncontended release (the common case for per-packet
+            # CPU charges) — no waiter bookkeeping at all.
+            return
+        users = self.users
+        while queue and len(users) < self.capacity:
+            waiter = queue.popleft()
+            users.append(waiter)
             waiter.succeed()
 
 
@@ -244,8 +278,8 @@ class Container:
         self.sim = sim
         self.capacity = capacity
         self._level = initial
-        self._put_queue: List[ContainerPut] = []
-        self._get_queue: List[ContainerGet] = []
+        self._put_queue: Deque[ContainerPut] = deque()
+        self._get_queue: Deque[ContainerGet] = deque()
 
     @property
     def level(self) -> float:
@@ -287,12 +321,12 @@ class Container:
                 if self._level + event.amount <= self.capacity:
                     self._level += event.amount
                     event.succeed()
-                    self._put_queue.pop(0)
+                    self._put_queue.popleft()
                     progressed = True
             if self._get_queue:
                 event = self._get_queue[0]
                 if event.amount <= self._level:
                     self._level -= event.amount
                     event.succeed()
-                    self._get_queue.pop(0)
+                    self._get_queue.popleft()
                     progressed = True

@@ -7,7 +7,16 @@ this package generates synthetic equivalents with the same schema and the
 statistical properties the pipelines care about (word distributions,
 geo-coordinates and fares, message sizes, Poisson traffic, labelled anomalous
 transactions).  Every generator is seeded and deterministic.
+
+Determinism makes pre-generation free: figure sweeps re-run the same seeded
+generator for every sweep point, so :func:`pregenerated` memoizes synthesis
+by ``(generator, arguments)`` and hands the identical trace back — moving
+workload generation off the sweep's critical path entirely.  Cached traces
+are shared by reference and must be treated as immutable by consumers (every
+pipeline in this repo already does).
 """
+
+from typing import Any, Callable
 
 from repro.workloads.text import generate_documents, generate_sentences, VOCABULARY
 from repro.workloads.rides import generate_rides
@@ -15,7 +24,36 @@ from repro.workloads.tweets import generate_tweets
 from repro.workloads.ais import generate_ais_messages, PORTS
 from repro.workloads.transactions import generate_transactions
 from repro.workloads.images import generate_frames
-from repro.workloads.nettraffic import generate_user_traffic, SERVICES
+from repro.workloads.nettraffic import (
+    SERVICES,
+    TrafficSlotBatch,
+    generate_traffic_batches,
+    generate_user_traffic,
+)
+
+_PREGENERATED_CACHE: dict = {}
+
+
+def pregenerated(generator: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
+    """Memoized workload synthesis: ``pregenerated(fn, *a, **kw) == fn(*a, **kw)``.
+
+    Every generator in this package is a pure function of its arguments (all
+    randomness flows from an explicit ``seed``), so a sweep that replays the
+    same workload at each point pays for generation once.  The cached object
+    is returned by reference — treat it as read-only.
+    """
+    key = (generator.__module__, generator.__qualname__, args, tuple(sorted(kwargs.items())))
+    try:
+        return _PREGENERATED_CACHE[key]
+    except KeyError:
+        _PREGENERATED_CACHE[key] = value = generator(*args, **kwargs)
+        return value
+
+
+def clear_pregenerated_cache() -> None:
+    """Drop all memoized workloads (tests / memory-sensitive sweeps)."""
+    _PREGENERATED_CACHE.clear()
+
 
 __all__ = [
     "generate_documents",
@@ -26,6 +64,10 @@ __all__ = [
     "generate_transactions",
     "generate_frames",
     "generate_user_traffic",
+    "generate_traffic_batches",
+    "TrafficSlotBatch",
+    "pregenerated",
+    "clear_pregenerated_cache",
     "VOCABULARY",
     "PORTS",
     "SERVICES",

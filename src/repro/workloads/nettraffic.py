@@ -5,11 +5,27 @@ number of concurrent users, each generating traffic towards a fixed set of
 services following a Poisson process.  This generator reproduces that load
 model: per-user Poisson packet arrivals, service mix, and flow 5-tuples, in
 one-second slots (the monitoring system's processing window).
+
+Batch synthesis
+---------------
+The hot generator is :func:`generate_traffic_batches`: it emits one columnar
+:class:`TrafficSlotBatch` per second — flat parallel arrays of per-packet
+fields, grouped by user, with per-user packet counts and byte totals computed
+during generation.  Experiment drivers iterate the pre-aggregated per-user
+reports straight off the columns, so no per-packet dict ever exists on the
+critical path.  :func:`generate_user_traffic` is the legacy per-packet-dict
+API, now a thin materializer over the batch generator.
+
+The random draw sequence (per user: one Poisson count; per packet: service
+roll, timestamp, size) is identical between both APIs — and identical to the
+original per-dict generator — so seeded experiment traces are byte-for-byte
+reproducible across the refactor.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from bisect import bisect_left
+from typing import Dict, Iterator, List, Tuple
 
 from repro.simulation.rng import SeededRandom, deterministic_hash
 
@@ -23,6 +39,162 @@ SERVICES = {
     "video": (8080, 1300, 0.10),
 }
 
+# Derived lookup tables, computed once at import: the service CDF (for a
+# single bisect per packet instead of a linear scan) and the per-service
+# constants the old generator recomputed per packet (destination IP hash!).
+_SERVICE_NAMES: List[str] = list(SERVICES)
+_SERVICE_CDF: List[float] = []
+_acc = 0.0
+for _name in _SERVICE_NAMES:
+    _acc += SERVICES[_name][2]
+    _SERVICE_CDF.append(_acc)
+_TOTAL_WEIGHT = _acc
+_SERVICE_PORTS: List[int] = [SERVICES[name][0] for name in _SERVICE_NAMES]
+_SERVICE_MEANS: List[float] = [float(SERVICES[name][1]) for name in _SERVICE_NAMES]
+_SERVICE_SIGMAS: List[float] = [mean * 0.2 for mean in _SERVICE_MEANS]
+_SERVICE_DST_IPS: List[str] = [
+    f"192.168.0.{(deterministic_hash(name) % 200) + 1}" for name in _SERVICE_NAMES
+]
+
+
+class TrafficSlotBatch:
+    """One second of traffic for all users, in columnar form.
+
+    Packet columns (``timestamps``/``service_ids``/``sizes``) are flat arrays
+    aligned by packet index; packets of one user occupy a contiguous span, in
+    user order.  ``users``/``user_counts``/``user_bytes`` describe the spans:
+    only users that generated at least one packet appear.
+    """
+
+    __slots__ = (
+        "second",
+        "users",
+        "user_counts",
+        "user_bytes",
+        "timestamps",
+        "service_ids",
+        "sizes",
+    )
+
+    def __init__(self, second: int) -> None:
+        self.second = second
+        self.users: List[int] = []
+        self.user_counts: List[int] = []
+        self.user_bytes: List[int] = []
+        self.timestamps: List[float] = []
+        self.service_ids: List[int] = []
+        self.sizes: List[int] = []
+
+    def __len__(self) -> int:
+        return len(self.sizes)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.user_bytes)
+
+    def iter_user_reports(self) -> Iterator[Tuple[int, dict, int]]:
+        """Yield ``(user, report_value, report_size)`` per active user.
+
+        The report value carries the user's packet columns (service ids and
+        sizes, slices of this slot's arrays); the report size models the
+        sFlow-style compression of the original system (1/20th of the user's
+        packet volume, floored at 256 bytes) — identical to what the old
+        per-dict driver computed.
+        """
+        start = 0
+        second = self.second
+        service_ids = self.service_ids
+        sizes = self.sizes
+        for index, user in enumerate(self.users):
+            count = self.user_counts[index]
+            end = start + count
+            value = {
+                "slot": second,
+                "user": user,
+                "service_ids": service_ids[start:end],
+                "sizes": sizes[start:end],
+            }
+            yield user, value, max(256, self.user_bytes[index] // 20)
+            start = end
+
+    def to_packet_dicts(self) -> List[Dict]:
+        """Materialize the legacy per-packet dict records (compat API)."""
+        packets: List[Dict] = []
+        start = 0
+        for index, user in enumerate(self.users):
+            count = self.user_counts[index]
+            src_ip = f"10.1.{user // 250}.{user % 250 + 1}"
+            for packet in range(start, start + count):
+                service_id = self.service_ids[packet]
+                packets.append(
+                    {
+                        "ts": self.timestamps[packet],
+                        "src_ip": src_ip,
+                        "dst_ip": _SERVICE_DST_IPS[service_id],
+                        "dst_port": _SERVICE_PORTS[service_id],
+                        "service": _SERVICE_NAMES[service_id],
+                        "size": self.sizes[packet],
+                        "user": user,
+                    }
+                )
+            start += count
+        return packets
+
+
+def service_name(service_id: int) -> str:
+    """Resolve a column's service id back to its name."""
+    return _SERVICE_NAMES[service_id]
+
+
+def generate_traffic_batches(
+    n_users: int,
+    duration_s: int = 10,
+    packets_per_user_per_s: float = 25.0,
+    seed: int = 0,
+) -> List[TrafficSlotBatch]:
+    """Generate one columnar :class:`TrafficSlotBatch` per second."""
+    if n_users <= 0:
+        raise ValueError("n_users must be positive")
+    if duration_s <= 0:
+        raise ValueError("duration_s must be positive")
+    rng = SeededRandom(seed)
+    poisson = rng.poisson
+    random = rng.random
+    gauss = rng.gauss
+    cdf = _SERVICE_CDF
+    means = _SERVICE_MEANS
+    sigmas = _SERVICE_SIGMAS
+    last_service = len(cdf) - 1
+    slots: List[TrafficSlotBatch] = []
+    for second in range(duration_s):
+        slot = TrafficSlotBatch(second)
+        timestamps = slot.timestamps
+        service_ids = slot.service_ids
+        sizes = slot.sizes
+        for user in range(n_users):
+            count = poisson(packets_per_user_per_s)
+            if count <= 0:
+                continue
+            user_bytes = 0
+            for _ in range(count):
+                # Draw order matches the original generator exactly:
+                # service roll, then timestamp, then size.
+                service = bisect_left(cdf, random() * _TOTAL_WEIGHT)
+                if service > last_service:
+                    service = last_service
+                timestamps.append(second + random())
+                size = int(gauss(means[service], sigmas[service]))
+                if size < 64:
+                    size = 64
+                service_ids.append(service)
+                sizes.append(size)
+                user_bytes += size
+            slot.users.append(user)
+            slot.user_counts.append(count)
+            slot.user_bytes.append(user_bytes)
+        slots.append(slot)
+    return slots
+
 
 def generate_user_traffic(
     n_users: int,
@@ -33,41 +205,15 @@ def generate_user_traffic(
     """Generate per-second slots of packet records for ``n_users`` users.
 
     Returns a list with one entry per second; each entry is the list of packet
-    records captured during that second across all users.
+    records captured during that second across all users.  (Legacy per-dict
+    API — materialized from :func:`generate_traffic_batches`.)
     """
-    if n_users <= 0:
-        raise ValueError("n_users must be positive")
-    if duration_s <= 0:
-        raise ValueError("duration_s must be positive")
-    rng = SeededRandom(seed)
-    service_names = list(SERVICES)
-    weights = [SERVICES[name][2] for name in service_names]
-    total_weight = sum(weights)
-    slots: List[List[Dict]] = []
-    for second in range(duration_s):
-        slot: List[Dict] = []
-        for user in range(n_users):
-            count = rng.poisson(packets_per_user_per_s)
-            for _ in range(count):
-                roll = rng.random() * total_weight
-                accumulator = 0.0
-                service = service_names[-1]
-                for name, weight in zip(service_names, weights):
-                    accumulator += weight
-                    if roll <= accumulator:
-                        service = name
-                        break
-                port, mean_size, _ = SERVICES[service]
-                slot.append(
-                    {
-                        "ts": second + rng.random(),
-                        "src_ip": f"10.1.{user // 250}.{user % 250 + 1}",
-                        "dst_ip": f"192.168.0.{(deterministic_hash(service) % 200) + 1}",
-                        "dst_port": port,
-                        "service": service,
-                        "size": max(64, int(rng.gauss(mean_size, mean_size * 0.2))),
-                        "user": user,
-                    }
-                )
-        slots.append(slot)
-    return slots
+    return [
+        slot.to_packet_dicts()
+        for slot in generate_traffic_batches(
+            n_users,
+            duration_s=duration_s,
+            packets_per_user_per_s=packets_per_user_per_s,
+            seed=seed,
+        )
+    ]

@@ -1,10 +1,16 @@
-"""Seeded-determinism trace regression test.
+"""Seeded-determinism trace regression tests.
 
 Runs a small broker + producer + consumer experiment twice with the same seed
 and asserts the *full simulated trace* is identical: processed event count,
 final clock, per-link delivered/dropped counters and client-side record
 accounting.  This locks in the behavior-preservation claim of the simulator
 fast path: optimizations may change wall-clock speed, never simulated results.
+
+Two golden tests additionally pin the trace and a figure output to values
+captured on the *per-record-dict* wire format (pre RecordBatch, PR 1): the
+batch-native record plane must reproduce those runs byte-for-byte.  If an
+intentional behavior change ever breaks them, re-capture the constants and
+say so in the PR.
 """
 
 from repro.broker.cluster import BrokerCluster, ClusterConfig
@@ -92,3 +98,44 @@ def test_different_seeds_diverge():
     # The workload draws from the seeded RNG, so a different seed must change
     # the trace (guards against the RNG being silently unseeded/ignored).
     assert base["processed_events"] != other["processed_events"]
+
+
+# -- golden locks (captured on the per-record wire format, pre RecordBatch) ---
+
+#: run_trace(seed=42) observables on the PR 1 code.
+GOLDEN_TRACE_SEED42 = {
+    "processed_events": 14097,
+    "final_clock": 40.0,
+    "records_sent": 200,
+    "records_acked": 200,
+    "records_failed": 0,
+    "records_consumed": 201,  # one duplicate delivery from a lossy-link retry
+    "bytes_consumed": 4824,
+    "metadata_version": 3,
+    "links": {
+        "site1:1<->s0:1": (1230, 11, 0),
+        "site2:1<->s0:2": (606, 5, 0),
+        "site3:1<->s0:3": (626, 7, 0),
+    },
+}
+
+
+def test_trace_matches_pre_batch_golden():
+    """The batch-native wire format replays the PR 1 trace byte-for-byte."""
+    trace = run_trace(seed=42)
+    consumed_keys = trace.pop("consumed_keys")
+    assert trace == GOLDEN_TRACE_SEED42
+    assert consumed_keys[:5] == [0, 1, 2, 3, 4]
+    assert len(consumed_keys) == GOLDEN_TRACE_SEED42["records_consumed"]
+
+
+def test_fig7b_figure_output_locked():
+    """Figure outputs (mean runtimes, normalized series, input counts) are
+    byte-identical to the pre-refactor capture for the same seed."""
+    from repro.experiments.fig7b_traffic_monitoring import Fig7bConfig, run_fig7b
+
+    result = run_fig7b(Fig7bConfig(user_counts=[20, 60], slots=10))
+    assert result.input_records == {20: 200, 60: 600}
+    assert repr(result.mean_runtime_s[20]) == "0.1625230502499999"
+    assert repr(result.mean_runtime_s[60]) == "0.23757060875000002"
+    assert repr(result.normalized[60]) == "1.4617656288419318"
