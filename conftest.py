@@ -18,3 +18,9 @@ def pytest_configure(config):
         "markers",
         "bench: slow paper-reproduction benchmark (deselect with -m \"not bench\")",
     )
+    config.addinivalue_line(
+        "markers",
+        "sweep: spawns subprocess worker pools (deselect with -m \"not sweep\" on "
+        "hosts where forking pools is unavailable); the rest of the quick tier "
+        "never needs a subprocess",
+    )

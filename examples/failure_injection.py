@@ -1,34 +1,26 @@
 #!/usr/bin/env python3
 """Failure analysis: a replicated broker deployment under a network partition.
 
-Reproduces (at reduced scale) the Figure 6 scenario: coordinating sites in a
-star topology, each running a broker, a 30 Kbps producer and a consumer; the
-host of topic A's leader broker is disconnected for a while.  The script
-prints the delivery matrix of the co-located producer, the per-topic latency
-spikes, the coordination events, and contrasts ZooKeeper-style coordination
-(silent message loss) with Raft-based coordination (no silent loss).
+The study is the registered ``failure-injection`` scenario (the Figure 6
+setup at example scale): coordinating sites in a star topology, each running
+a broker, a 30 Kbps producer and a consumer; the host of topic A's leader
+broker is disconnected for a while.  Both coordination modes run as
+independent scenario points, so ``workers=2`` (below, and ``--workers 2``
+on the CLI) runs ZooKeeper and KRaft in parallel processes.  The same run
+is available from the command line::
+
+    python -m repro run failure-injection --scale default --workers 2
 
 Run with::
 
     python examples/failure_injection.py
 """
 
-from repro.broker.coordinator import CoordinationMode
-from repro.experiments.fig6_partition import Fig6Config, run_fig6
+from repro.scenarios import ScenarioParams, run
 
 
-def run_mode(mode: CoordinationMode, acks) -> None:
-    config = Fig6Config(
-        n_sites=5,
-        duration=240.0,
-        disconnect_start=80.0,
-        disconnect_duration=50.0,
-        mode=mode,
-        acks=acks,
-        seed=3,
-    )
-    print(f"\n=== coordination mode: {mode.value} (acks={acks}) ===")
-    result = run_fig6(config)
+def report_mode(mode: str, result) -> None:
+    print(f"\n=== coordination mode: {mode} ===")
     print(f"messages produced: {result.messages_produced}")
     print(f"messages consumed: {result.messages_consumed}")
     print(f"acknowledged but lost: {result.acked_but_lost} {result.lost_topic_breakdown}")
@@ -39,12 +31,15 @@ def run_mode(mode: CoordinationMode, acks) -> None:
 
 
 def main() -> None:
-    run_mode(CoordinationMode.ZOOKEEPER, acks=1)
-    run_mode(CoordinationMode.KRAFT, acks="all")
+    outcome = run("failure-injection", params=ScenarioParams(scale="default"), workers=2)
+    for mode in ("zookeeper", "kraft"):
+        report_mode(mode, outcome.result[mode])
     print(
         "\nAs in the paper: the ZooKeeper-coordinated cluster silently drops "
         "messages of the partitioned topic, the Raft-based cluster does not."
     )
+    if outcome.problems:
+        print("shape problems vs the paper:", outcome.problems)
 
 
 if __name__ == "__main__":

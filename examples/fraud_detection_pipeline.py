@@ -1,46 +1,34 @@
 #!/usr/bin/env python3
 """Domain example: streaming fraud detection with an SVM.
 
-Deploys the Table II fraud-detection pipeline: a transaction producer, a
-broker, a stream processing job that scores every transaction with a linear
-SVM, a consumer of the alert topic, and a data store.  Prints the alert
-quality achieved on a synthetic labelled stream.
+The pipeline (the Table II fraud-detection application: transaction
+producer, broker, SVM-scoring SPE job, alert consumer, data store) is the
+registered ``fraud-pipeline`` scenario — this script only prints the alert
+quality it achieves on a synthetic labelled stream.  The same run is
+available from the command line::
+
+    python -m repro run fraud-pipeline --scale default
 
 Run with::
 
     python examples/fraud_detection_pipeline.py
 """
 
-from repro.apps.fraud_detection import run as run_fraud_detection
+from repro.scenarios import ScenarioParams, run
 
 
 def main() -> None:
-    result = run_fraud_detection(
-        n_transactions=300,
-        duration=60.0,
-        seed=13,
-        fraud_rate=0.1,
-        transactions_per_second=30.0,
-    )
+    outcome = run("fraud-pipeline", params=ScenarioParams(scale="default"))
+    data = outcome.result
     print("--- fraud detection pipeline ---")
-    print(f"transactions produced : {result.messages_produced}")
-    print(f"alerts raised         : {result.extras['alerts']}")
-    print(f"true positives        : {result.extras['true_positive_alerts']}")
-    print(f"frauds in the stream  : {result.extras['actual_frauds_in_stream']}")
-    recall = (
-        result.extras["true_positive_alerts"] / result.extras["actual_frauds_in_stream"]
-        if result.extras["actual_frauds_in_stream"]
-        else 0.0
-    )
-    precision = (
-        result.extras["true_positive_alerts"] / result.extras["alerts"]
-        if result.extras["alerts"]
-        else 0.0
-    )
-    print(f"recall                : {recall:.2f}")
-    print(f"precision             : {precision:.2f}")
-    print(f"mean alert latency    : {result.latency_summary['mean']:.3f}s")
-    print(f"median host CPU       : {result.resource_report.median_cpu():.1f}%")
+    print(f"transactions produced : {data['transactions_produced']}")
+    print(f"alerts raised         : {data['alerts']}")
+    print(f"true positives        : {data['true_positive_alerts']}")
+    print(f"frauds in the stream  : {data['actual_frauds_in_stream']}")
+    print(f"recall                : {data['recall']:.2f}")
+    print(f"precision             : {data['precision']:.2f}")
+    print(f"mean alert latency    : {data['mean_alert_latency_s']:.3f}s")
+    print(f"median host CPU       : {data['median_cpu_percent']:.1f}%")
 
 
 if __name__ == "__main__":

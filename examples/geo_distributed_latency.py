@@ -2,9 +2,13 @@
 """Emulating geo-distributed conditions: the Figure 5 link-delay study.
 
 Cloud deployments place brokers and stream processors across WAN links whose
-delay varies widely.  This example sweeps the link delay of each word-count
-component and shows which components dominate the end-to-end latency — the
-broker and the stream processing engine, exactly as the paper reports.
+delay varies widely.  The ``geo-latency`` scenario sweeps the link delay of
+each word-count component; the (component, delay) grid decomposes into
+independent points, so ``workers=4`` shards the whole study across four
+processes with identical results.  The same run is available from the
+command line::
+
+    python -m repro run geo-latency --scale default --workers 4
 
 Run with::
 
@@ -12,18 +16,14 @@ Run with::
 """
 
 from repro.core.visualization import render_series_text
-from repro.experiments.fig5_link_delay import Fig5Config, check_shape, run_fig5
+from repro.scenarios import ScenarioParams, get, run
 
 
 def main() -> None:
-    config = Fig5Config(
-        link_delays_ms=[25, 75, 150],
-        components=["producer", "broker", "spe", "consumer"],
-        n_documents=25,
-        duration=50.0,
-    )
+    config = get("geo-latency").build_config(ScenarioParams(scale="default"))
     print("Sweeping link delays", config.link_delays_ms, "ms per component...")
-    result = run_fig5(config)
+    outcome = run("geo-latency", params=ScenarioParams(scale="default"))
+    result = outcome.result
 
     print("\nEnd-to-end latency (seconds):")
     header = "component".rjust(12) + "".join(f"{d:>10.0f}ms" for d in config.link_delays_ms)
@@ -41,7 +41,7 @@ def main() -> None:
         points = list(zip(config.link_delays_ms, result.series(component)))
         print(render_series_text(points, label=f"{component:>10}"))
 
-    problems = check_shape(result)
+    problems = outcome.problems or []
     print("\nShape check vs the paper:", "OK" if not problems else problems)
 
 

@@ -1,75 +1,35 @@
 #!/usr/bin/env python3
 """Describing a pipeline in GraphML, exactly like the paper's Figure 4.
 
-The task description below mirrors the GraphML listing in the paper: a data
-source, a broker, a Spark-style stream processor and a data sink, each on its
-own host behind one switch, with per-link latency settings.  The script
-parses it, validates it, runs the emulation and prints what arrived at the
-sink.
+The GraphML listing (a data source, a broker, a Spark-style stream processor
+and a data sink behind one switch, with per-link latency settings) lives in
+the registered ``graphml-task`` scenario; this script runs it and prints
+what arrived at the sink.  The same run is available from the command
+line::
+
+    python -m repro run graphml-task --scale default
 
 Run with::
 
     python examples/graphml_task.py
 """
 
-from repro.core import Emulation, parse_graphml_string
-from repro.workloads.text import generate_documents
-
-GRAPHML_TASK = """<?xml version="1.0" encoding="UTF-8"?>
-<graphml xmlns="http://graphml.graphdrawing.org/xmlns">
-  <graph edgedefault="undirected">
-    <data key="topicCfg">{topics: [
-        {name: raw-data, replicas: 1, primaryBroker: h2},
-        {name: words-per-doc, replicas: 1, primaryBroker: h2}]}</data>
-
-    <!-- Cluster allocation -->
-    <node id="h1">
-      <data key="prodType">DIRECTORY</data>
-      <data key="prodCfg">{topicName: raw-data, filePath: documents,
-                           totalMessages: 30, messagesPerSecond: 6}</data>
-    </node>
-    <node id="h2">
-      <data key="brokerCfg">{coordinator: true}</data>
-    </node>
-    <node id="h3">
-      <data key="streamProcType">SPARK</data>
-      <data key="streamProcCfg">{app: word_count, inputTopics: [raw-data],
-                                 outputTopic: words-per-doc, batchInterval: 0.5}</data>
-    </node>
-    <node id="h5">
-      <data key="consType">STANDARD</data>
-      <data key="consCfg">{topics: [words-per-doc]}</data>
-    </node>
-
-    <!-- Network setup -->
-    <node id="s1"/>
-    <edge source="s1" target="h1"><data key="st">1</data><data key="dt">1</data><data key="lat">50</data></edge>
-    <edge source="s1" target="h2"><data key="lat">5</data><data key="bw">100</data></edge>
-    <edge source="s1" target="h3"><data key="lat">5</data><data key="bw">100</data></edge>
-    <edge source="s1" target="h5"><data key="lat">5</data><data key="bw">100</data></edge>
-  </graph>
-</graphml>
-"""
+from repro.scenarios import ScenarioParams, run
 
 
 def main() -> None:
-    task = parse_graphml_string(GRAPHML_TASK, name="figure4-example")
-    problems = task.validate()
+    outcome = run("graphml-task", params=ScenarioParams(scale="default"))
+    data = outcome.result
+
+    problems = data["validation_problems"]
     print("validation:", "OK" if not problems else problems)
-    print("summary:", task.summary())
+    print("summary:", data["task_summary"])
 
-    emulation = Emulation(
-        task, seed=7, datasets={"documents": generate_documents(30, seed=7)}
-    )
-    result = emulation.run(duration=45.0)
-
-    print("\nproduced:", result.messages_produced, "consumed:", result.messages_consumed)
-    print("mean end-to-end latency:", round(result.latency_summary["mean"], 3), "s")
-    sink = emulation.consumers["h5"]
+    print("\nproduced:", data["messages_produced"], "consumed:", data["messages_consumed"])
+    print("mean end-to-end latency:", round(data["mean_latency_s"], 3), "s")
     print("\nfirst results at the data sink:")
-    for record in sink.records[:5]:
-        value = record.value.get("value") if isinstance(record.value, dict) else record.value
-        print(f"  {value.get('doc_id')}: {value.get('distinct_words')} distinct words")
+    for sample in data["sink_samples"]:
+        print(f"  {sample['doc_id']}: {sample['distinct_words']} distinct words")
 
 
 if __name__ == "__main__":

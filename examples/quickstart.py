@@ -1,52 +1,42 @@
 #!/usr/bin/env python3
 """Quickstart: prototype a word-count pipeline in a few lines.
 
-Builds the paper's reference pipeline (Figure 2) — a document producer, a
-message broker, two stream processing jobs and a data sink, each on its own
-emulated host behind one switch — runs it for a minute of simulated time and
-prints the end-to-end results.
+The pipeline itself (the paper's Figure 2 reference task) is the registered
+``quickstart`` scenario — this script is only the reporting shim.  The same
+run is available from the command line::
+
+    python -m repro run quickstart --scale default
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro.apps.word_count import create_task
-from repro.core import Emulation
-from repro.workloads.text import generate_documents
+from repro.scenarios import ScenarioParams, run
 
 
 def main() -> None:
-    # 1. Describe the emulation task (topology + components + topics).
-    task = create_task(n_documents=50, files_per_second=10.0, link_latency_ms=5.0)
-    print("Task description:", task.summary())
+    # One call runs the whole stack: topology, broker, two SPE jobs, sink.
+    outcome = run("quickstart", params=ScenarioParams(scale="default"))
+    data = outcome.result
 
-    # 2. Attach the input data and build the emulation.
-    documents = generate_documents(50, seed=42)
-    emulation = Emulation(task, seed=42, datasets={"documents": documents})
-
-    # 3. Run for one simulated minute.
-    result = emulation.run(duration=60.0)
-
-    # 4. Inspect the results.
+    print("Task description:", data["task_summary"])
     print("\n--- results ---")
-    for key, value in result.summary().items():
+    for key, value in data["summary"].items():
         print(f"{key:>20}: {value}")
 
-    sink = emulation.consumers["h5"]
     print("\nFirst three word-count summaries reaching the data sink:")
-    for record in sink.records[:3]:
-        value = record.value.get("value") if isinstance(record.value, dict) else record.value
+    for sample in data["sink_samples"]:
         print(
-            f"  doc={value.get('doc_id')!r:14} words={value.get('total_words'):4} "
-            f"distinct={value.get('distinct_words'):4} latency={record.latency:.3f}s"
+            f"  doc={sample['doc_id']!r:14} words={sample['total_words']:4} "
+            f"distinct={sample['distinct_words']:4} latency={sample['latency_s']:.3f}s"
         )
 
-    spe1 = emulation.spes["h3"]
+    spe1 = data["spe_job1"]
     print(
-        f"\nSPE job 1 processed {spe1.total_input_records()} documents in "
-        f"{spe1.batches_run} micro-batches "
-        f"(mean job time {spe1.mean_processing_time() * 1000:.1f} ms)"
+        f"\nSPE job 1 processed {spe1['input_records']} documents in "
+        f"{spe1['batches_run']} micro-batches "
+        f"(mean job time {spe1['mean_processing_ms']:.1f} ms)"
     )
 
 

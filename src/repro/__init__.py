@@ -7,8 +7,12 @@ micro-batch stream processing engine, data stores, the stream2gym high-level
 prototyping interface, the paper's five example applications, and experiment
 harnesses for every table and figure of its evaluation.
 
-Most users start from :class:`repro.core.Emulation` together with a task
-description (programmatic or GraphML); see README.md for a quickstart.
+Most users start from the declarative scenario catalog —
+``python -m repro list`` / ``python -m repro run quickstart`` or
+:func:`repro.scenarios.run` — which fronts every experiment and example;
+:class:`repro.core.Emulation` plus a task description (programmatic or
+GraphML) remains the lower-level entry point.  See README.md for a
+quickstart.
 """
 
 __version__ = "1.0.0"

@@ -71,7 +71,12 @@ class ProducerConfig:
 
 
 class PendingRecord:
-    """A record sitting in the accumulator awaiting acknowledgement."""
+    """A record sitting in the accumulator awaiting acknowledgement.
+
+    Fire-and-forget sends (:meth:`Producer.send_noreport`) carry no delivery
+    future and no report slot: ``future`` is ``None`` and ``sequence`` is
+    ``-1``, and the ack/fail paths skip their bookkeeping for them.
+    """
 
     __slots__ = ("record", "partition", "future", "enqueued_at", "sequence")
 
@@ -79,7 +84,7 @@ class PendingRecord:
         self,
         record: ProducerRecord,
         partition: int,
-        future: Event,
+        future: Optional[Event],
         enqueued_at: float,
         sequence: int,
     ) -> None:
@@ -137,6 +142,11 @@ class Producer:
         self._waiting_for_buffer: List[PendingRecord] = []
         self._buffer_used = 0
         self._sequence = 0
+        #: Keyless-record round-robin fallback, shared by send and
+        #: send_noreport so partition placement is identical however the two
+        #: paths interleave (counts every send; equals _sequence when only
+        #: reported sends are used, preserving historical placement).
+        self._partition_fallback = 0
         self.running = False
         self.records_sent = 0
         self.records_acked = 0
@@ -172,7 +182,8 @@ class Producer:
         future = self.sim.event()
         now = self.sim.now
         n_partitions = self._partition_count(record.topic)
-        partition = record.partition_for(n_partitions, fallback=self._sequence)
+        partition = record.partition_for(n_partitions, fallback=self._partition_fallback)
+        self._partition_fallback += 1
         pending = PendingRecord(record, partition, future, now, self._sequence)
         self.reports.append(
             DeliveryReport(self._sequence, record.topic, record.key, now)
@@ -187,6 +198,28 @@ class Producer:
             # acknowledgements free space (blocking-producer semantics).
             self._waiting_for_buffer.append(pending)
         return future
+
+    def send_noreport(self, record: ProducerRecord) -> None:
+        """Fire-and-forget send (``acks=0``-style client bookkeeping).
+
+        Skips the per-record future, :class:`DeliveryReport` and sequence
+        allocation of :meth:`send` — the dominant client-side cost for
+        throughput workloads that never inspect delivery outcomes.  Wire
+        behavior is identical to :meth:`send`: the record takes the same
+        accumulator/batch path, respects ``buffer.memory``, and still counts
+        in ``records_sent`` / ``records_acked`` / ``records_failed``.
+        """
+        now = self.sim.now
+        n_partitions = self._partition_count(record.topic)
+        partition = record.partition_for(n_partitions, fallback=self._partition_fallback)
+        self._partition_fallback += 1
+        pending = PendingRecord(record, partition, None, now, -1)
+        self.records_sent += 1
+        if self._buffer_used + record.size <= self.config.buffer_memory:
+            self._buffer_used += record.size
+            self._enqueue(pending)
+        else:
+            self._waiting_for_buffer.append(pending)
 
     def flush_pending(self) -> int:
         """Number of records not yet acknowledged or failed."""
@@ -405,6 +438,8 @@ class Producer:
         for index, pending in enumerate(batch):
             offset = base_offset + index
             freed += pending.record.size
+            if pending.sequence < 0:  # fire-and-forget: no report, no future
+                continue
             report = reports[pending.sequence]
             report.acknowledged_at = now
             report.offset = offset
@@ -420,6 +455,8 @@ class Producer:
         for pending in batch:
             self._buffer_used -= pending.record.size
             self.records_failed += 1
+            if pending.sequence < 0:  # fire-and-forget: no report, no future
+                continue
             self.reports[pending.sequence].failed_at = now
             if not pending.future.triggered:
                 failure = pending.future

@@ -1,10 +1,17 @@
 """Experiment harnesses reproducing every table and figure of the paper.
 
-Each module exposes a configuration dataclass (with quick defaults suitable
-for CI and larger "paper-scale" settings), a ``run_*`` function returning a
-structured result, and the reference shape reported in the paper so that the
-benchmark harness can check qualitative agreement (who wins, by roughly what
-factor, where curves saturate) rather than absolute numbers.
+Each module is a *scenario definition* (see :mod:`repro.scenarios`): a
+configuration dataclass, a point decomposition (``scenario_points`` /
+``scenario_combine``) registered under the figure's name, and the reference
+shape reported in the paper so that the benchmark harness can check
+qualitative agreement (who wins, by roughly what factor, where curves
+saturate) rather than absolute numbers.  The legacy ``run_*`` entry points
+delegate to the scenario runner and accept ``workers=N`` to shard their
+independent points across processes; scale tiers (quick vs paper) are
+selected uniformly via :class:`repro.scenarios.ScenarioParams` instead of
+per-module constants::
+
+    python -m repro run fig7b --scale paper --workers 4
 
 ========================  ==========================================================
 Module                    Paper artefact
@@ -20,7 +27,7 @@ Module                    Paper artefact
 """
 
 from repro.experiments.fig5_link_delay import Fig5Config, run_fig5
-from repro.experiments.fig6_partition import Fig6Config, run_fig6
+from repro.experiments.fig6_partition import Fig6Config, run_fig6, run_mode_comparison
 from repro.experiments.fig7a_video_analytics import Fig7aConfig, run_fig7a
 from repro.experiments.fig7b_traffic_monitoring import Fig7bConfig, run_fig7b
 from repro.experiments.fig8_accuracy import Fig8Config, run_fig8
@@ -32,6 +39,7 @@ __all__ = [
     "run_fig5",
     "Fig6Config",
     "run_fig6",
+    "run_mode_comparison",
     "Fig7aConfig",
     "run_fig7a",
     "Fig7bConfig",

@@ -20,6 +20,7 @@ from typing import Dict, List
 
 from repro.apps.word_count import AVERAGE_TOPIC, WORDS_TOPIC, create_task
 from repro.core.emulation import Emulation
+from repro.scenarios import PointSpec, Scenario, ScenarioRunner, register
 from repro.workloads import pregenerated
 from repro.workloads.text import generate_documents
 
@@ -110,21 +111,45 @@ def run_single(component: str, delay_ms: float, config: Fig5Config) -> List[floa
     return _end_to_end_latencies(emulation)
 
 
-def run_fig5(config: Fig5Config = None) -> Fig5Result:
-    """Run the full Figure 5 sweep."""
-    config = config or Fig5Config()
+def _sweep_grid(config: Fig5Config) -> List[tuple]:
+    """Canonical (component, delay) order — the single source shared by
+    point generation and outcome combination, so the two can never skew."""
+    return [
+        (component, delay)
+        for component in config.components
+        for delay in config.link_delays_ms
+    ]
+
+
+def scenario_points(config: Fig5Config) -> List[PointSpec]:
+    """One independent point per (component, delay) pair, in sweep order."""
+    return [
+        PointSpec(
+            fn=run_single,
+            kwargs={"component": component, "delay_ms": delay, "config": config},
+            label=f"{component}@{delay:g}ms",
+            index=index,
+        )
+        for index, (component, delay) in enumerate(_sweep_grid(config))
+    ]
+
+
+def scenario_combine(config: Fig5Config, outcomes: List[List[float]]) -> Fig5Result:
+    grid = _sweep_grid(config)
+    assert len(outcomes) == len(grid)
     latency: Dict[str, Dict[float, float]] = {}
     samples: Dict[str, Dict[float, int]] = {}
-    for component in config.components:
-        latency[component] = {}
-        samples[component] = {}
-        for delay in config.link_delays_ms:
-            values = run_single(component, delay, config)
-            latency[component][delay] = (
-                sum(values) / len(values) if values else float("nan")
-            )
-            samples[component][delay] = len(values)
+    for (component, delay), values in zip(grid, outcomes):
+        latency.setdefault(component, {})[delay] = (
+            sum(values) / len(values) if values else float("nan")
+        )
+        samples.setdefault(component, {})[delay] = len(values)
     return Fig5Result(latency_s=latency, samples=samples)
+
+
+def run_fig5(config: Fig5Config = None, workers: int = 1) -> Fig5Result:
+    """Run the full Figure 5 sweep (across ``workers`` processes if > 1)."""
+    return ScenarioRunner(SCENARIO).run_config(config or Fig5Config(), workers=workers).result
 
 
 #: Paper reference shape used by the benchmark harness.
@@ -150,3 +175,41 @@ def check_shape(result: Fig5Result) -> List[str]:
     if broker_impact and consumer_impact and broker_impact <= consumer_impact:
         problems.append("broker link delay should hurt more than the consumer link delay")
     return problems
+
+
+def scenario_metrics(result: Fig5Result) -> Dict[str, float]:
+    metrics: Dict[str, float] = {}
+    for component in result.latency_s:
+        metrics[f"impact_{component}"] = round(result.impact_factor(component), 3)
+        series = result.series(component)
+        if series:
+            metrics[f"latency_max_{component}_s"] = round(series[-1], 4)
+    return metrics
+
+
+def _scenario_check(config: Fig5Config, result: Fig5Result) -> List[str]:
+    return check_shape(result)
+
+
+SCENARIO = register(
+    Scenario(
+        name="fig5",
+        title="Figure 5 — word-count latency vs per-component link delay",
+        config_factory=Fig5Config,
+        points=scenario_points,
+        combine=scenario_combine,
+        metrics=scenario_metrics,
+        tiers={
+            "quick": {
+                "link_delays_ms": [25.0, 150.0],
+                "components": ["producer", "broker"],
+                "n_documents": 12,
+                "duration": 35.0,
+            },
+            "paper": {"n_documents": 100},
+        },
+        sweep_axis="link_delays_ms",
+        check=_scenario_check,
+        description=__doc__.strip().splitlines()[0],
+    )
+)

@@ -41,6 +41,7 @@ from repro.core.visualization import (
 from repro.network.faults import FaultInjector, NodeDisconnection
 from repro.network.link import LinkConfig
 from repro.network.topology import star_topology
+from repro.scenarios import PointSpec, Scenario, ScenarioRunner, register
 from repro.simulation import Simulator
 from repro.stubs.producers import RandomRateProducerStub
 
@@ -238,15 +239,47 @@ def run_fig6(config: Optional[Fig6Config] = None) -> Fig6Result:
     )
 
 
-def run_mode_comparison(config: Optional[Fig6Config] = None) -> Dict[str, Fig6Result]:
-    """Run the scenario in both coordination modes (the paper's ZK vs Raft finding)."""
-    config = config or Fig6Config()
-    zk_config = Fig6Config(**{**config.__dict__, "mode": CoordinationMode.ZOOKEEPER, "acks": 1})
-    kraft_config = Fig6Config(**{**config.__dict__, "mode": CoordinationMode.KRAFT, "acks": "all"})
+def _mode_arms(config: Fig6Config) -> List[tuple]:
+    """The two (mode, acks) arms of the comparison, config's own mode first.
+
+    The configured ``mode``/``acks`` are honored verbatim for the primary
+    arm (so ``--set mode=... --set acks=...`` is never silently discarded);
+    the counterpart arm uses the paper's setting for the *other* mode
+    (ZooKeeper with acks=1, KRaft with acks="all").
+    """
+    primary = CoordinationMode(config.mode)
+    if primary is CoordinationMode.ZOOKEEPER:
+        return [(primary, config.acks), (CoordinationMode.KRAFT, "all")]
+    return [(primary, config.acks), (CoordinationMode.ZOOKEEPER, 1)]
+
+
+def scenario_points(config: Fig6Config) -> List[PointSpec]:
+    """Both coordination modes of the paper's comparison, as independent runs."""
+    points = []
+    for index, (mode, acks) in enumerate(_mode_arms(config)):
+        arm_config = Fig6Config(**{**config.__dict__, "mode": mode, "acks": acks})
+        points.append(
+            PointSpec(
+                fn=run_fig6, kwargs={"config": arm_config}, label=mode.value, index=index
+            )
+        )
+    return points
+
+
+def scenario_combine(
+    config: Fig6Config, outcomes: List[Fig6Result]
+) -> Dict[str, Fig6Result]:
     return {
-        "zookeeper": run_fig6(zk_config),
-        "kraft": run_fig6(kraft_config),
+        mode.value: outcome
+        for (mode, _acks), outcome in zip(_mode_arms(config), outcomes)
     }
+
+
+def run_mode_comparison(
+    config: Optional[Fig6Config] = None, workers: int = 1
+) -> Dict[str, Fig6Result]:
+    """Run the scenario in both coordination modes (the paper's ZK vs Raft finding)."""
+    return ScenarioRunner(SCENARIO).run_config(config or Fig6Config(), workers=workers).result
 
 
 PAPER_SHAPE = {
@@ -273,3 +306,46 @@ def check_shape(results: Dict[str, Fig6Result]) -> List[str]:
     if kraft is not None and kraft.acked_but_lost > 0:
         problems.append("KRaft mode must not silently lose acknowledged records")
     return problems
+
+
+def scenario_metrics(results: Dict[str, Fig6Result]) -> Dict[str, object]:
+    metrics: Dict[str, object] = {}
+    for mode, result in results.items():
+        metrics[f"{mode}_produced"] = result.messages_produced
+        metrics[f"{mode}_consumed"] = result.messages_consumed
+        metrics[f"{mode}_acked_but_lost"] = result.acked_but_lost
+        metrics[f"{mode}_elections"] = len(result.election_times())
+    return metrics
+
+
+def _scenario_check(config: Fig6Config, results: Dict[str, Fig6Result]) -> List[str]:
+    return check_shape(results)
+
+
+SCENARIO = register(
+    Scenario(
+        name="fig6",
+        title="Figure 6 — replicated deployment under a partition (ZK vs KRaft)",
+        config_factory=Fig6Config,
+        points=scenario_points,
+        combine=scenario_combine,
+        metrics=scenario_metrics,
+        tiers={
+            "quick": {
+                "n_sites": 4,
+                "duration": 150.0,
+                "disconnect_start": 50.0,
+                "disconnect_duration": 35.0,
+            },
+            "paper": {
+                "n_sites": 10,
+                "duration": 600.0,
+                "disconnect_start": 180.0,
+                "disconnect_duration": 120.0,
+            },
+        },
+        sweep_axis="n_sites",
+        check=_scenario_check,
+        description=__doc__.strip().splitlines()[0],
+    )
+)

@@ -25,6 +25,7 @@ from repro.broker.message import ProducerRecord
 from repro.broker.topic import TopicConfig
 from repro.network.link import LinkConfig
 from repro.network.topology import one_big_switch
+from repro.scenarios import PointSpec, Scenario, ScenarioRunner, register
 from repro.simulation import Simulator
 from repro.workloads.images import generate_frames
 
@@ -107,7 +108,8 @@ def run_single(n_consumers: int, config: Fig7aConfig) -> Dict[str, object]:
     def produce_all():
         producer.start()
         for frame in frames:
-            producer.send(
+            # Fire-and-forget: the experiment only watches records_acked.
+            producer.send_noreport(
                 ProducerRecord(
                     topic="frames", key=frame["frame_id"], value=frame, size=frame["size"]
                 )
@@ -141,16 +143,31 @@ def run_single(n_consumers: int, config: Fig7aConfig) -> Dict[str, object]:
     }
 
 
-def run_fig7a(config: Optional[Fig7aConfig] = None) -> Fig7aResult:
-    """Run the full consumer-count sweep."""
-    config = config or Fig7aConfig()
+def scenario_points(config: Fig7aConfig) -> List[PointSpec]:
+    """One independent point per consumer count."""
+    return [
+        PointSpec(
+            fn=run_single,
+            kwargs={"n_consumers": n, "config": config},
+            label=f"consumers={n}",
+            index=index,
+        )
+        for index, n in enumerate(config.consumer_counts)
+    ]
+
+
+def scenario_combine(config: Fig7aConfig, outcomes: List[Dict[str, object]]) -> Fig7aResult:
     throughput: Dict[int, float] = {}
     per_consumer: Dict[int, List[float]] = {}
-    for n_consumers in config.consumer_counts:
-        outcome = run_single(n_consumers, config)
+    for n_consumers, outcome in zip(config.consumer_counts, outcomes):
         throughput[n_consumers] = outcome["aggregate"]
         per_consumer[n_consumers] = outcome["per_consumer"]
     return Fig7aResult(throughput=throughput, per_consumer=per_consumer)
+
+
+def run_fig7a(config: Optional[Fig7aConfig] = None, workers: int = 1) -> Fig7aResult:
+    """Run the full consumer-count sweep (across ``workers`` processes if > 1)."""
+    return ScenarioRunner(SCENARIO).run_config(config or Fig7aConfig(), workers=workers).result
 
 
 PAPER_SHAPE = {
@@ -177,3 +194,35 @@ def check_shape(result: Fig7aResult, cores: int = 8) -> List[str]:
             f"throughput should flatten beyond {cores} consumers (ratio {ratio:.2f})"
         )
     return problems
+
+
+def scenario_metrics(result: Fig7aResult) -> Dict[str, float]:
+    metrics = {
+        f"throughput_{n}c": round(result.throughput[n], 1)
+        for n in sorted(result.throughput)
+    }
+    metrics["saturation_ratio"] = round(result.saturation_ratio(), 3)
+    return metrics
+
+
+def _scenario_check(config: Fig7aConfig, result: Fig7aResult) -> List[str]:
+    return check_shape(result, cores=config.host_cores)
+
+
+SCENARIO = register(
+    Scenario(
+        name="fig7a",
+        title="Figure 7a — Kafka frame-transfer throughput vs consumer count",
+        config_factory=Fig7aConfig,
+        points=scenario_points,
+        combine=scenario_combine,
+        metrics=scenario_metrics,
+        tiers={
+            "quick": {"consumer_counts": [1, 4], "n_frames": 2000},
+            "paper": {"n_frames": 20000},
+        },
+        sweep_axis="consumer_counts",
+        check=_scenario_check,
+        description=__doc__.strip().splitlines()[0],
+    )
+)

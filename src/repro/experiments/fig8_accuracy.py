@@ -26,6 +26,7 @@ from typing import Dict, List, Optional
 from repro.apps.word_count import create_task
 from repro.core.emulation import Emulation
 from repro.experiments.fig5_link_delay import _end_to_end_latencies
+from repro.scenarios import PointSpec, Scenario, ScenarioRunner, register
 from repro.simulation.rng import SeededRandom
 from repro.workloads import pregenerated
 from repro.workloads.text import generate_documents
@@ -139,18 +140,50 @@ def run_single(
     return max(0.0, mean)
 
 
-def run_fig8(config: Optional[Fig8Config] = None) -> Fig8Result:
-    """Run the emulation-vs-hardware comparison."""
-    config = config or Fig8Config()
+def _sweep_grid(config: Fig8Config) -> List[tuple]:
+    """Canonical (component, delay, profile) order — the single source shared
+    by point generation and outcome combination, so the two can never skew."""
+    return [
+        (component, delay, profile)
+        for component in config.components
+        for delay in config.link_delays_ms
+        for profile in (STREAM2GYM_PROFILE, HARDWARE_PROFILE)
+    ]
+
+
+def scenario_points(config: Fig8Config) -> List[PointSpec]:
+    """One point per (component, delay, calibration profile), in sweep order."""
+    return [
+        PointSpec(
+            fn=run_single,
+            kwargs={
+                "component": component,
+                "delay_ms": delay,
+                "profile": profile,
+                "config": config,
+            },
+            label=f"{component}@{delay:g}ms/{profile.name}",
+            index=index,
+        )
+        for index, (component, delay, profile) in enumerate(_sweep_grid(config))
+    ]
+
+
+def scenario_combine(config: Fig8Config, outcomes: List[float]) -> Fig8Result:
+    grid = _sweep_grid(config)
+    assert len(outcomes) == len(grid)
     latency: Dict[str, Dict[str, Dict[float, float]]] = {}
-    for component in config.components:
-        latency[component] = {"stream2gym": {}, "hardware": {}}
-        for delay in config.link_delays_ms:
-            for profile in (STREAM2GYM_PROFILE, HARDWARE_PROFILE):
-                latency[component][profile.name][delay] = run_single(
-                    component, delay, profile, config
-                )
+    for (component, delay, profile), outcome in zip(grid, outcomes):
+        environments = latency.setdefault(
+            component, {"stream2gym": {}, "hardware": {}}
+        )
+        environments[profile.name][delay] = outcome
     return Fig8Result(latency=latency)
+
+
+def run_fig8(config: Optional[Fig8Config] = None, workers: int = 1) -> Fig8Result:
+    """Run the emulation-vs-hardware comparison (parallel if ``workers`` > 1)."""
+    return ScenarioRunner(SCENARIO).run_config(config or Fig8Config(), workers=workers).result
 
 
 PAPER_SHAPE = {
@@ -172,3 +205,35 @@ def check_shape(result: Fig8Result) -> List[str]:
         if series and series[-1] <= series[0]:
             problems.append(f"latency should grow with {component} link delay")
     return problems
+
+
+def scenario_metrics(result: Fig8Result) -> Dict[str, float]:
+    return {"max_relative_error": round(result.max_relative_error(), 4)}
+
+
+def _scenario_check(config: Fig8Config, result: Fig8Result) -> List[str]:
+    return check_shape(result)
+
+
+SCENARIO = register(
+    Scenario(
+        name="fig8",
+        title="Figure 8 — emulation vs hardware-testbed latency accuracy",
+        config_factory=Fig8Config,
+        points=scenario_points,
+        combine=scenario_combine,
+        metrics=scenario_metrics,
+        tiers={
+            "quick": {
+                "link_delays_ms": [50.0],
+                "components": ["broker"],
+                "n_documents": 10,
+                "duration": 35.0,
+            },
+            "paper": {"n_documents": 100},
+        },
+        sweep_axis="link_delays_ms",
+        check=_scenario_check,
+        description=__doc__.strip().splitlines()[0],
+    )
+)

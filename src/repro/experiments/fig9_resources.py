@@ -27,6 +27,7 @@ from repro.core.configs import ProducerStubConfig
 from repro.core.resources import HostResourceModel, ResourceReport, ServerSpec
 from repro.network.link import LinkConfig
 from repro.network.topology import star_topology
+from repro.scenarios import PointSpec, Scenario, ScenarioRunner, register
 from repro.simulation import Simulator
 from repro.stubs.producers import RandomRateProducerStub
 
@@ -133,14 +134,41 @@ def run_single(n_sites: int, buffer_size: int, config: Fig9Config) -> ResourceRe
     return model.report
 
 
-def run_fig9(config: Optional[Fig9Config] = None) -> Fig9Result:
-    """Run the full scaling sweep."""
-    config = config or Fig9Config()
+def _sweep_grid(config: Fig9Config) -> List[tuple]:
+    """Canonical (buffer size, site count) order — the single source shared
+    by point generation and outcome combination, so the two can never skew."""
+    return [
+        (buffer_size, n_sites)
+        for buffer_size in config.buffer_sizes
+        for n_sites in config.site_counts
+    ]
+
+
+def scenario_points(config: Fig9Config) -> List[PointSpec]:
+    """One point per (buffer size, site count), in sweep order."""
+    return [
+        PointSpec(
+            fn=run_single,
+            kwargs={"n_sites": n_sites, "buffer_size": buffer_size, "config": config},
+            label=f"{n_sites}sites/{buffer_size // (1024 * 1024)}MB",
+            index=index,
+        )
+        for index, (buffer_size, n_sites) in enumerate(_sweep_grid(config))
+    ]
+
+
+def scenario_combine(config: Fig9Config, outcomes: List[ResourceReport]) -> Fig9Result:
+    grid = _sweep_grid(config)
+    assert len(outcomes) == len(grid)
     reports: Dict[tuple, ResourceReport] = {}
-    for buffer_size in config.buffer_sizes:
-        for n_sites in config.site_counts:
-            reports[(n_sites, buffer_size)] = run_single(n_sites, buffer_size, config)
+    for (buffer_size, n_sites), report in zip(grid, outcomes):
+        reports[(n_sites, buffer_size)] = report
     return Fig9Result(reports=reports)
+
+
+def run_fig9(config: Optional[Fig9Config] = None, workers: int = 1) -> Fig9Result:
+    """Run the full scaling sweep (across ``workers`` processes if > 1)."""
+    return ScenarioRunner(SCENARIO).run_config(config or Fig9Config(), workers=workers).result
 
 
 PAPER_SHAPE = {
@@ -177,3 +205,42 @@ def check_shape(result: Fig9Result, config: Optional[Fig9Config] = None) -> List
         if big <= small:
             problems.append("larger producer buffers should consume more memory")
     return problems
+
+
+def scenario_metrics(result: Fig9Result) -> Dict[str, float]:
+    metrics: Dict[str, float] = {}
+    for (sites, buffer_size), report in sorted(result.reports.items()):
+        suffix = f"{sites}s_{buffer_size // (1024 * 1024)}mb"
+        metrics[f"median_cpu_{suffix}"] = round(report.median_cpu(), 2)
+        metrics[f"peak_memory_{suffix}"] = round(report.peak_memory(), 2)
+    return metrics
+
+
+def _scenario_check(config: Fig9Config, result: Fig9Result) -> List[str]:
+    return check_shape(result, config)
+
+
+MB = 1024 * 1024
+
+SCENARIO = register(
+    Scenario(
+        name="fig9",
+        title="Figure 9 — server CPU / memory scalability vs site count",
+        config_factory=Fig9Config,
+        points=scenario_points,
+        combine=scenario_combine,
+        metrics=scenario_metrics,
+        tiers={
+            "quick": {
+                "site_counts": [2, 4],
+                "buffer_sizes": [16 * MB, 32 * MB],
+                "duration": 25.0,
+                "warmup": 10.0,
+            },
+            "paper": {},  # the module defaults are the paper's 2-10 site sweep
+        },
+        sweep_axis="site_counts",
+        check=_scenario_check,
+        description=__doc__.strip().splitlines()[0],
+    )
+)

@@ -20,6 +20,7 @@ from repro.apps import (
     sentiment_analysis,
     word_count,
 )
+from repro.scenarios import PointSpec, Scenario, ScenarioRunner, register
 
 #: Paper-reported rows (application -> (components, feature)).
 PAPER_TABLE = {
@@ -129,29 +130,48 @@ def _run_application(name: str, config: Table2Config) -> Dict[str, object]:
     raise KeyError(name)
 
 
-def run_table2(config: Optional[Table2Config] = None) -> Table2Result:
-    """Build (and optionally run) all five applications and produce the table."""
-    config = config or Table2Config()
-    result = Table2Result()
-    for name, (components, feature) in PAPER_TABLE.items():
-        module = _MODULES[name]
-        task = module.create_task()
-        row = Table2Row(
-            application=name,
-            components=task.component_count(),
-            feature=feature,
-            loc=_loc_of(module),
+def run_application_row(name: str, config: Table2Config) -> Table2Row:
+    """Build (and optionally run) one application; the scenario's point unit."""
+    components, feature = PAPER_TABLE[name]
+    module = _MODULES[name]
+    task = module.create_task()
+    row = Table2Row(
+        application=name,
+        components=task.component_count(),
+        feature=feature,
+        loc=_loc_of(module),
+    )
+    if row.components != components:
+        raise AssertionError(
+            f"{name}: expected {components} components, built {row.components}"
         )
-        if row.components != components:
-            raise AssertionError(
-                f"{name}: expected {components} components, built {row.components}"
-            )
-        if config.run_pipelines:
-            outcome = _run_application(name, config)
-            row.messages_consumed = int(outcome["consumed"])
-            row.verified = bool(outcome["verified"])
-        result.rows.append(row)
-    return result
+    if config.run_pipelines:
+        outcome = _run_application(name, config)
+        row.messages_consumed = int(outcome["consumed"])
+        row.verified = bool(outcome["verified"])
+    return row
+
+
+def scenario_points(config: Table2Config) -> List[PointSpec]:
+    """One independent point per Table II application."""
+    return [
+        PointSpec(
+            fn=run_application_row,
+            kwargs={"name": name, "config": config},
+            label=name,
+            index=index,
+        )
+        for index, name in enumerate(PAPER_TABLE)
+    ]
+
+
+def scenario_combine(config: Table2Config, outcomes: List[Table2Row]) -> Table2Result:
+    return Table2Result(rows=list(outcomes))
+
+
+def run_table2(config: Optional[Table2Config] = None, workers: int = 1) -> Table2Result:
+    """Build (and optionally run) all five applications and produce the table."""
+    return ScenarioRunner(SCENARIO).run_config(config or Table2Config(), workers=workers).result
 
 
 def check_shape(result: Table2Result) -> List[str]:
@@ -164,3 +184,36 @@ def check_shape(result: Table2Result) -> List[str]:
         if row.messages_consumed is not None and not row.verified:
             problems.append(f"{name} did not produce its expected output")
     return problems
+
+
+def scenario_metrics(result: Table2Result) -> Dict[str, object]:
+    metrics: Dict[str, object] = {}
+    for row in result.rows:
+        metrics[f"{row.application}_components"] = row.components
+        metrics[f"{row.application}_loc"] = row.loc
+        if row.messages_consumed is not None:
+            metrics[f"{row.application}_verified"] = row.verified
+    return metrics
+
+
+def _scenario_check(config: Table2Config, result: Table2Result) -> List[str]:
+    return check_shape(result)
+
+
+SCENARIO = register(
+    Scenario(
+        name="table2",
+        title="Table II — the five example applications, deployed and verified",
+        config_factory=Table2Config,
+        points=scenario_points,
+        combine=scenario_combine,
+        metrics=scenario_metrics,
+        tiers={
+            "quick": {"run_pipelines": False},
+            "paper": {"n_items": 100, "duration": 60.0},
+        },
+        sweep_axis=None,
+        check=_scenario_check,
+        description=__doc__.strip().splitlines()[0],
+    )
+)

@@ -1,0 +1,75 @@
+"""The scenario registry: every experiment, example and sweep, one catalog.
+
+Scenario definitions live next to the code they describe (each
+``repro.experiments.fig*`` module registers its figure, the bundled example
+apps register under :mod:`repro.scenarios.examples`).  The registry imports
+those modules lazily on first lookup, so ``import repro.scenarios`` stays
+cheap and there is no import cycle (definition modules import the scenario
+machinery, never the other way around at import time).
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Dict, List, Union
+
+from repro.scenarios.spec import Scenario
+
+_SCENARIOS: Dict[str, Scenario] = {}
+
+#: Modules that self-register scenarios when imported.
+_DEFINITION_MODULES = (
+    "repro.experiments.fig5_link_delay",
+    "repro.experiments.fig6_partition",
+    "repro.experiments.fig7a_video_analytics",
+    "repro.experiments.fig7b_traffic_monitoring",
+    "repro.experiments.fig8_accuracy",
+    "repro.experiments.fig9_resources",
+    "repro.experiments.table2_applications",
+    "repro.scenarios.examples",
+)
+
+_loaded = False
+
+
+def register(scenario: Scenario) -> Scenario:
+    """Register (or replace) a scenario under its name."""
+    _SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+def get(name: str) -> Scenario:
+    """Look up a scenario by name, loading the built-in definitions."""
+    _ensure_definitions()
+    try:
+        return _SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; registered: {', '.join(names())}"
+        ) from None
+
+
+def resolve(scenario: Union[str, Scenario]) -> Scenario:
+    return get(scenario) if isinstance(scenario, str) else scenario
+
+
+def names() -> List[str]:
+    """All registered scenario names, sorted."""
+    _ensure_definitions()
+    return sorted(_SCENARIOS)
+
+
+def all_scenarios() -> List[Scenario]:
+    _ensure_definitions()
+    return [_SCENARIOS[name] for name in sorted(_SCENARIOS)]
+
+
+def _ensure_definitions() -> None:
+    global _loaded
+    if _loaded:
+        return
+    for module in _DEFINITION_MODULES:
+        importlib.import_module(module)
+    # Only after every module imported cleanly: a failed import must surface
+    # again on the next lookup, not leave a silently partial registry.
+    _loaded = True

@@ -1,0 +1,159 @@
+"""Sweeps: run a scenario across one or more config axes, optionally parallel.
+
+``Sweep("fig7b").over("user_counts", [20, 40, 60, 80, 100]).run(workers=4)``
+runs one full scenario per axis value, sharding *all* points of *all* sweep
+values across one process pool — a sweep of five single-point runs keeps
+four workers busy, not one.
+
+Seeding is deterministic per point: every point's randomness flows from its
+config (the swept field plus the base seed), never from execution order or
+process placement, so ``run(workers=N)`` is bitwise-identical to
+``run(workers=1)`` for the same axes.  Scenarios that want sweep points to
+use *different* seeds derive them per value via
+:func:`repro.scenarios.spec.derive_seed` on a config field — still a pure
+function of the point identity.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.scenarios import registry
+from repro.scenarios.runner import assemble_run_result, execute_points
+from repro.scenarios.spec import RunResult, Scenario, ScenarioParams, _set_config_field
+
+
+@dataclass
+class SweepResult:
+    """All runs of one sweep, in axis-product order."""
+
+    scenario: str
+    axes: List[Tuple[str, List[Any]]]
+    runs: List[Tuple[Tuple[Any, ...], RunResult]]
+    wall_seconds: float
+    workers: int
+
+    def values(self) -> List[Tuple[Any, ...]]:
+        return [combo for combo, _ in self.runs]
+
+    def results(self) -> List[RunResult]:
+        return [result for _, result in self.runs]
+
+    def metrics_rows(self) -> List[Dict[str, Any]]:
+        """One flat dict per run: axis values + that run's metrics."""
+        rows = []
+        axis_names = [name for name, _ in self.axes]
+        for combo, result in self.runs:
+            row: Dict[str, Any] = dict(zip(axis_names, combo))
+            row.update(result.metrics)
+            rows.append(row)
+        return rows
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "axes": [[name, list(values)] for name, values in self.axes],
+            "wall_seconds": round(self.wall_seconds, 4),
+            "workers": self.workers,
+            "runs": [
+                {"values": list(combo), **result.summary()}
+                for combo, result in self.runs
+            ],
+        }
+
+
+class Sweep:
+    """Fluent sweep builder over a scenario's config fields."""
+
+    def __init__(
+        self,
+        scenario: Union[str, Scenario],
+        params: Optional[ScenarioParams] = None,
+    ) -> None:
+        self.scenario = registry.resolve(scenario)
+        self.params = params or ScenarioParams()
+        self._axes: List[Tuple[str, List[Any]]] = []
+
+    def over(self, field_name: Optional[str], values: Sequence[Any]) -> "Sweep":
+        """Add an axis; ``None`` targets the scenario's natural sweep axis."""
+        if field_name is None:
+            field_name = self.scenario.sweep_axis
+            if field_name is None:
+                raise ValueError(
+                    f"scenario {self.scenario.name!r} declares no sweep_axis; "
+                    "name the config field explicitly"
+                )
+        self._axes.append((field_name, list(values)))
+        return self
+
+    def configs(self) -> List[Tuple[Tuple[Any, ...], Any]]:
+        """Materialize one config per axis-product combination.
+
+        A scalar value swept over a list-valued field (e.g. ``20`` over
+        fig7b's ``user_counts``) is wrapped into a one-element list, so
+        sweeping an axis externally means "one scenario run per value".
+        """
+        if not self._axes:
+            raise ValueError("sweep has no axes; call over() first")
+        combos = []
+        for combo in itertools.product(*(values for _, values in self._axes)):
+            config = self.scenario.build_config(self.params)
+            for (field_name, _), value in zip(self._axes, combo):
+                # Validating setter: a mistyped axis name must raise (not
+                # silently run every combination at the default config); it
+                # also wraps scalars assigned to list-valued fields.
+                _set_config_field(config, field_name, value)
+            combos.append((combo, config))
+        return combos
+
+    def run(self, workers: int = 1) -> SweepResult:
+        """Execute every combination; all points share one worker pool.
+
+        Because runs interleave in the shared pool, per-run wall clock is
+        not attributable: every :class:`RunResult` in the sweep carries the
+        whole batch's ``wall_seconds`` (equal to ``SweepResult.wall_seconds``).
+        """
+        combos = self.configs()
+        scenario = self.scenario
+        per_run_points = [scenario.points(config) for _, config in combos]
+        flat = [point for points in per_run_points for point in points]
+        started = time.perf_counter()
+        outcomes = execute_points(flat, workers=workers)
+        wall = time.perf_counter() - started
+        runs: List[Tuple[Tuple[Any, ...], RunResult]] = []
+        cursor = 0
+        for (combo, config), points in zip(combos, per_run_points):
+            slice_outcomes = outcomes[cursor : cursor + len(points)]
+            cursor += len(points)
+            runs.append(
+                (
+                    combo,
+                    assemble_run_result(
+                        scenario,
+                        config,
+                        points,
+                        slice_outcomes,
+                        workers=workers,
+                        scale=self.params.scale,
+                        wall_seconds=wall,
+                    ),
+                )
+            )
+        return SweepResult(
+            scenario=scenario.name,
+            axes=list(self._axes),
+            runs=runs,
+            wall_seconds=wall,
+            workers=workers,
+        )
+
+
+def sweep(
+    scenario: Union[str, Scenario],
+    params: Optional[ScenarioParams] = None,
+) -> Sweep:
+    """Convenience constructor mirroring :func:`repro.scenarios.run`."""
+    return Sweep(scenario, params=params)

@@ -118,6 +118,83 @@ class TestProduceConsume:
         assert consumer.records_consumed == 20
         assert [r.key for r in consumer.received] == list(range(20))
 
+    def test_fire_and_forget_send_noreport(self):
+        """send_noreport delivers identically to send but allocates no
+        futures or delivery reports (the acks=0-style throughput path)."""
+        sim, network, sites, cluster = build_cluster()
+        producer = cluster.create_producer(sites[0])
+        consumer = cluster.create_consumer(sites[2])
+        consumer.subscribe(["topicA"])
+
+        def workload():
+            yield sim.timeout(10.0)
+            producer.start()
+            consumer.start()
+            for i in range(20):
+                producer.send_noreport(
+                    ProducerRecord(topic="topicA", key=i, value=f"msg-{i}", size=200)
+                )
+                yield sim.timeout(0.1)
+
+        sim.process(workload())
+        sim.run(until=40.0)
+        assert producer.records_sent == 20
+        assert producer.records_acked == 20
+        assert producer.records_failed == 0
+        assert producer.reports == []  # no per-record report allocation
+        assert producer.buffer_used == 0  # buffer.memory fully released
+        assert consumer.records_consumed == 20
+        assert [r.key for r in consumer.received] == list(range(20))
+
+    def test_noreport_delivery_matches_reported_send(self):
+        """The wire behavior of the two send paths is identical: same keys,
+        same bytes, same consumed order for the same seeded run."""
+
+        def run_once(noreport: bool):
+            sim, network, sites, cluster = build_cluster()
+            producer = cluster.create_producer(sites[0])
+            consumer = cluster.create_consumer(sites[2])
+            consumer.subscribe(["topicA"])
+            send = producer.send_noreport if noreport else producer.send
+
+            def workload():
+                yield sim.timeout(10.0)
+                producer.start()
+                consumer.start()
+                for i in range(30):
+                    send(ProducerRecord(topic="topicA", key=i, value=f"m-{i}", size=150))
+                    yield sim.timeout(0.05)
+
+            sim.process(workload())
+            sim.run(until=40.0)
+            return (
+                [r.key for r in consumer.received],
+                consumer.bytes_consumed,
+                producer.records_acked,
+            )
+
+        assert run_once(noreport=False) == run_once(noreport=True)
+
+    def test_interleaved_send_paths_share_partition_round_robin(self):
+        """Keyless round-robin placement is one shared counter: interleaving
+        send and send_noreport spreads records exactly like all-send would."""
+        sim, network, sites, cluster = build_cluster()
+        producer = cluster.create_producer(sites[0])
+        producer.metadata = {
+            "version": 1,
+            "brokers": {},
+            "partitions": {
+                "t-0": {"topic": "t", "partition": 0, "leader": None},
+                "t-1": {"topic": "t", "partition": 1, "leader": None},
+            },
+        }
+        for i in range(2):
+            producer.send(ProducerRecord(topic="t", value=f"r{i}", size=10))
+            producer.send_noreport(ProducerRecord(topic="t", value=f"n{i}", size=10))
+        # Fallback sequence 0,1,2,3 -> partitions 0,1,0,1 across both paths.
+        assert [p.record.value for p in producer._accumulator["t-0"]] == ["r0", "r1"]
+        assert [p.record.value for p in producer._accumulator["t-1"]] == ["n0", "n1"]
+
     def test_consumer_latency_accounting(self):
         sim, network, sites, cluster = build_cluster()
         producer = cluster.create_producer(sites[1])
