@@ -10,7 +10,9 @@ trajectory to beat:
 * process/timeout rate — the generator-based slow path;
 * packet round-trip rate through the full host->switch->host data plane;
 * end-to-end produce->consume record throughput through the batch-native
-  broker wire path (client send -> broker append -> fetch -> header decode);
+  broker wire path (client send -> broker append -> fetch -> header decode),
+  plus the sharded variant (4 partitions / 4-member consumer group) and the
+  partition-scaling ratio of their simulated drain windows;
 * wall-clock of two packet-heavy experiments at their quick-test scale
   (fig6 partition, fig7b traffic monitoring) *and* at paper scale
   (fig6: 10 sites / 600 s; fig7b: the full 20-100-user sweep).
@@ -46,6 +48,10 @@ from repro.simulation import Simulator
 from benchmarks.conftest import report
 
 BENCH_FILE = Path(__file__).resolve().parents[1] / "BENCH_core.json"
+
+#: Simulated drain windows of the produce->consume arms (filled by the
+#: throughput benches; the partition-scaling ratio compares them).
+_sim_drains: dict = {"1part": {}, "4part": {}}
 
 #: Fraction of the best recorded value a throughput metric may drop to
 #: before the regression gate fails the bench run (>20% drop = failure).
@@ -141,61 +147,94 @@ def test_bench_packet_round_trips():
 
 
 def _produce_consume_once(
-    n_records: int, payload: str, fire_and_forget: bool = False
+    n_records: int,
+    payload: str,
+    fire_and_forget: bool = False,
+    partitions: int = 1,
+    group_members: int = 1,
+    sim_stats: dict = None,
 ) -> float:
     """One produce->consume run; returns the wall seconds until the last
-    record is consumed (idle post-delivery broker loops excluded)."""
+    record is consumed (idle post-delivery broker loops excluded).
+
+    With ``partitions``/``group_members`` > 1 the topic is sharded and a
+    consumer group (one member per host) splits it; production then waits for
+    the group to stabilize first, and the drain window (production start to
+    last record consumed, in *simulated* seconds) lands in ``sim_stats`` —
+    the partition-scaling measurement.
+    """
     sim = Simulator(seed=7)
+    sinks = ["sink"] if group_members == 1 else [f"sink{i}" for i in range(group_members)]
     network = one_big_switch(
         sim,
-        ["source", "broker", "sink"],
+        ["source", "broker"] + sinks,
         default_config=LinkConfig(latency_ms=0.5, bandwidth_mbps=10_000.0),
     )
     cluster = BrokerCluster(network, coordinator_host="broker", config=ClusterConfig())
     cluster.add_broker("broker")
-    cluster.add_topic(TopicConfig(name="events", replication_factor=1))
+    cluster.add_topic(
+        TopicConfig(name="events", partitions=partitions, replication_factor=1)
+    )
     cluster.start(settle_time=1.0)
     producer = cluster.create_producer(
         "source",
         config=ProducerConfig(linger=0.005, buffer_memory=512 * 1024 * 1024),
     )
-    consumer = cluster.create_consumer(
-        "sink",
-        config=ConsumerConfig(
-            poll_interval=0.01, max_records_per_fetch=5000, keep_payloads=False
-        ),
+    consumer_config = ConsumerConfig(
+        poll_interval=0.01,
+        max_records_per_fetch=5000,
+        keep_payloads=False,
+        group="bench" if group_members > 1 else None,
     )
-    consumer.subscribe(["events"])
+    consumers = []
+    for host in sinks:
+        consumer = cluster.create_consumer(host, config=consumer_config)
+        consumer.subscribe(["events"])
+        consumers.append(consumer)
     done = sim.event()
     send = producer.send_noreport if fire_and_forget else producer.send
 
     def drive():
         yield sim.timeout(2.0)
         producer.start()
-        consumer.start()
+        for consumer in consumers:
+            consumer.start()
+        if group_members > 1:
+            # Let every member join and sync before traffic flows, so the
+            # drain window measures steady-state sharded consumption.
+            yield sim.timeout(3.0)
+        drain_started = sim.now
         for i in range(n_records):
             send(
                 ProducerRecord(topic="events", key=i, value=payload, size=112)
             )
             if i % 200 == 199:
                 yield sim.timeout(0.001)
-        while consumer.records_consumed < n_records:
+        while sum(consumer.records_consumed for consumer in consumers) < n_records:
             yield sim.timeout(0.05)
+        if sim_stats is not None:
+            sim_stats["drain_sim_seconds"] = sim.now - drain_started
         producer.stop()
-        consumer.stop()
+        for consumer in consumers:
+            consumer.stop()
         done.succeed()
 
     sim.process(drive())
     started = time.perf_counter()
     sim.run(until=done)
     elapsed = time.perf_counter() - started
-    assert consumer.records_consumed == n_records
-    assert consumer.bytes_consumed == n_records * 112
+    assert sum(consumer.records_consumed for consumer in consumers) == n_records
+    assert sum(consumer.bytes_consumed for consumer in consumers) == n_records * 112
     return elapsed
 
 
 def _stable_best_seconds(
-    n_records: int, payload: str, fire_and_forget: bool = False
+    n_records: int,
+    payload: str,
+    fire_and_forget: bool = False,
+    partitions: int = 1,
+    group_members: int = 1,
+    sim_stats: dict = None,
 ) -> float:
     """Best-of-three stabilized measurement of one produce->consume setup.
 
@@ -212,7 +251,14 @@ def _stable_best_seconds(
         try:
             best = min(
                 best,
-                _produce_consume_once(n_records, payload, fire_and_forget=fire_and_forget),
+                _produce_consume_once(
+                    n_records,
+                    payload,
+                    fire_and_forget=fire_and_forget,
+                    partitions=partitions,
+                    group_members=group_members,
+                    sim_stats=sim_stats,
+                ),
             )
         finally:
             gc.enable()
@@ -231,7 +277,7 @@ def test_bench_produce_consume_throughput():
     """
     n_records = 50_000
     payload = "x" * 100
-    best = _stable_best_seconds(n_records, payload)
+    best = _stable_best_seconds(n_records, payload, sim_stats=_sim_drains["1part"])
     rate = _record("produce_consume_records_per_sec", n_records / best)
     report(
         "produce->consume throughput",
@@ -264,6 +310,53 @@ def test_bench_produce_consume_noreport_throughput():
         },
     )
     assert rate > 5_000
+
+
+def test_bench_produce_consume_4part_group_throughput():
+    """Sharded data plane: 4 partitions drained by a 4-member consumer group.
+
+    Records the wall-clock end-to-end rate (``produce_consume_4part_records_
+    per_sec``, same stabilized protocol as the 1-partition bench) and the
+    *partition-scaling ratio*: the simulated drain throughput of the sharded
+    arm versus the single-partition arm.  Sharding parallelizes consumer CPU
+    across hosts in simulated time, so the ratio must clear 1.2x — unlike
+    the wall-clock sweep gate, simulated time is deterministic and host-
+    independent, so the assertion applies wherever both arms ran.
+    """
+    n_records = 50_000
+    payload = "x" * 100
+    best = _stable_best_seconds(
+        n_records,
+        payload,
+        partitions=4,
+        group_members=4,
+        sim_stats=_sim_drains["4part"],
+    )
+    rate = _record("produce_consume_4part_records_per_sec", n_records / best)
+    drain_1p = _sim_drains["1part"].get("drain_sim_seconds")
+    drain_4p = _sim_drains["4part"].get("drain_sim_seconds")
+    ratio = (drain_1p / drain_4p) if drain_1p and drain_4p else None
+    if ratio is not None:
+        # Only meaningful when the 1-partition bench ran in this session;
+        # never persist a placeholder into the trajectory.
+        _record("produce_consume_partition_scaling_ratio", ratio)
+    report(
+        "produce->consume throughput (4 partitions, 4-member group)",
+        {
+            "records": n_records,
+            "seconds": best,
+            "records/sec": rate,
+            "drain_sim_s_1part": drain_1p,
+            "drain_sim_s_4part": drain_4p,
+            "partition_scaling_ratio": f"{ratio:.2f}x" if ratio else "n/a",
+        },
+    )
+    assert rate > 5_000
+    if ratio is not None:
+        assert ratio > 1.2, (
+            f"expected the 4-partition group drain to beat the single-partition "
+            f"arm by >1.2x in simulated time, got {ratio:.2f}x"
+        )
 
 
 def test_bench_fig6_wall_clock():
@@ -451,10 +544,13 @@ def test_bench_persist_trajectory():
 
 
 #: Metrics the regression gate enforces.  Only the stabilized end-to-end
-#: throughput gates: the micro-rates (call_later, packet round-trips) are
+#: throughputs gate: the micro-rates (call_later, packet round-trips) are
 #: single-shot measurements whose run-to-run variance under a loaded machine
 #: exceeds the 20% budget — they stay reported-but-ungated in the trajectory.
-GATED_METRICS = ("produce_consume_records_per_sec",)
+GATED_METRICS = (
+    "produce_consume_records_per_sec",
+    "produce_consume_4part_records_per_sec",
+)
 
 
 def test_bench_regression_gate():

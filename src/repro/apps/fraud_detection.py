@@ -71,8 +71,13 @@ def create_task(
     transactions_per_second: float = 40.0,
     link_latency_ms: float = 5.0,
     batch_interval: float = 0.5,
+    partitions: int = 1,
 ) -> TaskDescription:
-    """Build the fraud-detection task description (5 components)."""
+    """Build the fraud-detection task description (5 components).
+
+    Transactions are keyed by ``account_id``, so with ``partitions > 1`` one
+    account's history stays ordered on a single partition.
+    """
     task = TaskDescription(name="fraud-detection")
     task.add_node(
         "h1",
@@ -82,6 +87,7 @@ def create_task(
             "filePath": "transactions",
             "totalMessages": n_transactions,
             "messagesPerSecond": transactions_per_second,
+            "keyField": "account_id",
         },
     )
     task.add_node("h2", brokerCfg={"coordinator": True})
@@ -102,8 +108,8 @@ def create_task(
         task.add_link(host, "s1", lat=link_latency_ms, bw=100.0)
     task.set_topics(
         [
-            TopicSpec(name=TRANSACTIONS_TOPIC, primary_broker="h2"),
-            TopicSpec(name=ALERTS_TOPIC, primary_broker="h2"),
+            TopicSpec(name=TRANSACTIONS_TOPIC, partitions=partitions, primary_broker="h2"),
+            TopicSpec(name=ALERTS_TOPIC, partitions=partitions, primary_broker="h2"),
         ]
     )
     return task

@@ -59,6 +59,7 @@ def create_task(
     batch_interval: float = 0.5,
     window_seconds: float = 20.0,
     watched_ports: Optional[List[str]] = None,
+    partitions: int = 1,
 ) -> TaskDescription:
     """Build the maritime-monitoring task description (4 components)."""
     watched = watched_ports or ["halifax", "boston"]
@@ -90,7 +91,7 @@ def create_task(
     task.add_switch("s1")
     for host in ("h1", "h2", "h3", "h4"):
         task.add_link(host, "s1", lat=link_latency_ms, bw=100.0)
-    task.set_topics([TopicSpec(name=AIS_TOPIC, primary_broker="h2")])
+    task.set_topics([TopicSpec(name=AIS_TOPIC, partitions=partitions, primary_broker="h2")])
     return task
 
 

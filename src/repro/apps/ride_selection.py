@@ -73,6 +73,7 @@ def create_task(
     link_latency_ms: float = 5.0,
     batch_interval: float = 0.5,
     window_seconds: float = 30.0,
+    partitions: int = 1,
 ) -> TaskDescription:
     """Build the ride-selection task description (5 components)."""
     task = TaskDescription(name="ride-selection")
@@ -116,9 +117,9 @@ def create_task(
         task.add_link(host, "s1", lat=link_latency_ms, bw=100.0)
     task.set_topics(
         [
-            TopicSpec(name=RIDES_TOPIC, primary_broker="h3"),
-            TopicSpec(name=TIPS_TOPIC, primary_broker="h3"),
-            TopicSpec(name=RANKING_TOPIC, primary_broker="h3"),
+            TopicSpec(name=RIDES_TOPIC, partitions=partitions, primary_broker="h3"),
+            TopicSpec(name=TIPS_TOPIC, partitions=partitions, primary_broker="h3"),
+            TopicSpec(name=RANKING_TOPIC, partitions=partitions, primary_broker="h3"),
         ]
     )
     return task

@@ -55,6 +55,7 @@ def create_task(
     tweets_per_second: float = 50.0,
     link_latency_ms: float = 5.0,
     batch_interval: float = 0.5,
+    partitions: int = 1,
 ) -> TaskDescription:
     """Build the sentiment-analysis task description (3 components)."""
     task = TaskDescription(name="sentiment-analysis")
@@ -81,7 +82,7 @@ def create_task(
     task.add_switch("s1")
     for host in ("h1", "h2", "h3"):
         task.add_link(host, "s1", lat=link_latency_ms, bw=100.0)
-    task.set_topics([TopicSpec(name=TWEETS_TOPIC, primary_broker="h2")])
+    task.set_topics([TopicSpec(name=TWEETS_TOPIC, partitions=partitions, primary_broker="h2")])
     return task
 
 

@@ -95,12 +95,15 @@ def create_task(
     per_component_latency: Optional[Dict[str, float]] = None,
     files_per_second: float = 10.0,
     batch_interval: float = 0.5,
+    partitions: int = 1,
 ) -> TaskDescription:
     """Build the Figure 2 word-count task description.
 
     ``per_component_latency`` overrides the access-link delay of individual
     components (keys: source, broker, spe_job1, spe_job2, sink) — the knob the
-    Figure 5 / Figure 8 experiments sweep.
+    Figure 5 / Figure 8 experiments sweep.  ``partitions`` shards every topic;
+    documents are keyed by file name, so a document's records stay ordered on
+    one partition.
     """
     overrides = per_component_latency or {}
     task = TaskDescription(name="word-count")
@@ -150,9 +153,9 @@ def create_task(
         )
     task.set_topics(
         [
-            TopicSpec(name=RAW_TOPIC, primary_broker=HOSTS["broker"]),
-            TopicSpec(name=WORDS_TOPIC, primary_broker=HOSTS["broker"]),
-            TopicSpec(name=AVERAGE_TOPIC, primary_broker=HOSTS["broker"]),
+            TopicSpec(name=RAW_TOPIC, partitions=partitions, primary_broker=HOSTS["broker"]),
+            TopicSpec(name=WORDS_TOPIC, partitions=partitions, primary_broker=HOSTS["broker"]),
+            TopicSpec(name=AVERAGE_TOPIC, partitions=partitions, primary_broker=HOSTS["broker"]),
         ]
     )
     return task

@@ -22,7 +22,7 @@ Public entry points are :class:`BrokerCluster` (server side),
 from repro.broker.broker import Broker, BrokerConfig
 from repro.broker.cluster import BrokerCluster, ClusterConfig, CoordinationMode
 from repro.broker.consumer import Consumer, ConsumerConfig, ConsumerRecord
-from repro.broker.coordinator import Coordinator
+from repro.broker.coordinator import Coordinator, GroupState, assign_range, assign_roundrobin
 from repro.broker.errors import (
     BrokerUnavailableError,
     DeliveryFailed,
@@ -41,6 +41,9 @@ __all__ = [
     "ClusterConfig",
     "CoordinationMode",
     "Coordinator",
+    "GroupState",
+    "assign_range",
+    "assign_roundrobin",
     "Producer",
     "ProducerConfig",
     "ProducerRecord",

@@ -208,6 +208,14 @@ class Broker:
             return self._handle_replica_fetch(payload)
         if request_type == "epoch_end_offset":
             return self._handle_epoch_end_offset(payload)
+        if request_type == "find_coordinator":
+            # Group-management clients ask any bootstrap broker where the
+            # coordinator lives (Kafka's FindCoordinator request).  Kept out
+            # of the metadata snapshot so the (size-cached) metadata replies
+            # of clients that never use groups are byte-identical.
+            if self.coordinator_host is None:
+                return {"error": "no_coordinator"}
+            return {"error": None, "coordinator_host": self.coordinator_host}
         if request_type == "metadata":
             # Explicit reply size: clients poll metadata constantly, and
             # letting the transport re-estimate the (large) snapshot dict per

@@ -161,6 +161,19 @@ class BrokerCluster:
         leader_name = self.coordinator.leader_of(topic, partition)
         return self.brokers.get(leader_name) if leader_name else None
 
+    def partition_states(self, topic: str) -> List:
+        """All partition states of one topic, in partition order."""
+        states = [
+            state
+            for state in self.coordinator.partitions.values()
+            if state.topic == topic
+        ]
+        return sorted(states, key=lambda state: state.partition)
+
+    def group_state(self, name: str):
+        """Coordinator-side state of one consumer group (or None)."""
+        return self.coordinator.group_state(name)
+
     def total_lost_records(self) -> int:
         """Records that were acknowledged to producers but truncated away."""
         return sum(len(broker.lost_records) for broker in self.brokers.values())

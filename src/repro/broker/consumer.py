@@ -11,6 +11,17 @@ total size) in O(1) and only materializes per-record
 :class:`ConsumerRecord` objects when an observer (``keep_payloads`` or the
 ``on_record`` callback) actually needs them.  Batch-aware observers can set
 ``on_batch`` instead and receive the columnar batch directly.
+
+Three assignment modes exist:
+
+* **standalone** (default): the consumer fetches every partition of its
+  subscriptions and keeps offsets purely locally;
+* **manual** (:meth:`Consumer.assign`): fetch exactly the given partitions —
+  the static-sharding mode the partition-aware SPE sources use;
+* **group** (``ConsumerConfig.group``): membership, partition assignment and
+  committed offsets are managed by the cluster coordinator; the member only
+  fetches its assigned partitions and re-syncs on every rebalance (see
+  ``docs/partitioning.md`` for the protocol walkthrough).
 """
 
 from __future__ import annotations
@@ -20,6 +31,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.broker.batch import RecordBatch
 from repro.broker.broker import BROKER_PORT
+from repro.broker.coordinator import COORDINATOR_PORT, GROUP_ASSIGNORS
 from repro.network.host import Host
 from repro.network.transport import RequestTimeout, Transport
 
@@ -39,12 +51,26 @@ class ConsumerConfig:
     #: large experiments to bound memory; the ``on_record`` callback always
     #: sees the full record either way).
     keep_payloads: bool = True
+    #: Consumer group to join (``None`` = standalone: the consumer reads every
+    #: partition of its subscriptions and manages offsets purely locally).
+    group: Optional[str] = None
+    #: Partition assignor the group uses: ``"range"`` or ``"roundrobin"``.
+    assignor: str = "range"
+    #: How often a group member heartbeats the coordinator (each heartbeat
+    #: also commits the member's current offsets).
+    group_heartbeat_interval: float = 1.0
 
     def __post_init__(self) -> None:
         if self.poll_interval <= 0:
             raise ValueError("poll_interval must be positive")
         if self.max_records_per_fetch <= 0:
             raise ValueError("max_records_per_fetch must be positive")
+        if self.group_heartbeat_interval <= 0:
+            raise ValueError("group_heartbeat_interval must be positive")
+        if self.assignor not in GROUP_ASSIGNORS:
+            raise ValueError(
+                f"unknown assignor {self.assignor!r}; expected one of {GROUP_ASSIGNORS}"
+            )
 
 
 @dataclass
@@ -98,6 +124,19 @@ class Consumer:
         self._poll_targets_cache: tuple = (None, None)
         self.subscriptions: List[str] = []
         self.offsets: Dict[str, int] = {}
+        #: Partition keys this consumer may fetch.  ``None`` means "every
+        #: partition of the subscribed topics" (standalone consumers); a
+        #: frozenset restricts polling to a manual or group assignment.
+        self._assigned: Optional[frozenset] = None
+        self._assignment_epoch = 0
+        #: Group-membership state (meaningful only when ``config.group`` set).
+        self.generation = -1
+        self.rebalances = 0
+        #: Permanent group-protocol error (e.g. an assignor mismatch with the
+        #: existing group); set once, then the group loop stops retrying.
+        self.group_error: Optional[str] = None
+        self._group_joined = False
+        self._coordinator_host: Optional[str] = None
         self.received: List[ConsumerRecord] = []
         self.records_consumed = 0
         self.bytes_consumed = 0
@@ -112,22 +151,62 @@ class Consumer:
                 self.subscriptions.append(topic)
         self._poll_targets_cache = (None, None)
 
+    def assign(self, topic: str, partitions: List[int]) -> None:
+        """Manually assign specific partitions (mutually exclusive with a group).
+
+        The consumer polls exactly the given partitions of ``topic`` (plus any
+        earlier manual assignments), never the topic's other partitions — the
+        client half of a static sharding plan such as one SPE source instance
+        per partition.
+        """
+        if self.config.group:
+            raise RuntimeError(
+                f"{self.name} is in group {self.config.group!r}; manual assign() "
+                "cannot be combined with group-managed assignment"
+            )
+        self.subscribe([topic])
+        assigned = set(self._assigned or ())
+        assigned.update(f"{topic}-{partition}" for partition in partitions)
+        self._assigned = frozenset(assigned)
+        self._assignment_epoch += 1
+
     def start(self) -> None:
         if self.running:
             return
         if not self.subscriptions:
             raise RuntimeError(f"{self.name} started without subscriptions")
         self.running = True
+        if self.config.group:
+            # Nothing may be fetched before the coordinator hands out an
+            # assignment, or members would double-consume each other's
+            # partitions while joining.
+            self._assigned = frozenset()
+            self._assignment_epoch += 1
+            self.sim.process(self._group_loop(), name=f"{self.name}:group")
         self.sim.process(self._poll_loop(), name=f"{self.name}:poll")
 
     def stop(self) -> None:
+        was_running = self.running
         self.running = False
+        if was_running and self.config.group and self._group_joined:
+            # Graceful leave: commit final offsets so whoever inherits our
+            # partitions resumes exactly where we stopped (no re-delivery).
+            self._group_joined = False
+            self.sim.process(self._leave_group(), name=f"{self.name}:leave-group")
 
     def seek(self, topic: str, partition: int, offset: int) -> None:
+        """Set the next fetch offset for one partition (per-partition positions)."""
         self.offsets[f"{topic}-{partition}"] = offset
 
     def position(self, topic: str, partition: int = 0) -> int:
+        """Next offset this consumer will fetch for ``topic``/``partition``."""
         return self.offsets.get(f"{topic}-{partition}", 0)
+
+    def assignment(self) -> Optional[List[str]]:
+        """Currently assigned partition keys (None = all subscribed partitions)."""
+        if self._assigned is None:
+            return None
+        return sorted(self._assigned)
 
     # -- poll loop ------------------------------------------------------------------
     def _poll_loop(self):
@@ -148,21 +227,187 @@ class Consumer:
                     last_refresh = self.sim.now
 
     def _poll_targets(self) -> list:
-        """Subscribed (key, info) pairs, cached per metadata version.
+        """Fetchable (key, info) pairs, cached per (metadata version, assignment).
 
         The poll loop runs tens of thousands of times per simulated run;
         rebuilding the partition list on every tick showed up in profiles.
+        Standalone consumers see every partition of their subscriptions;
+        assigned consumers (manual or group) only their assigned keys.
         """
-        version = self.metadata.get("version", -1)
+        version = (self.metadata.get("version", -1), self._assignment_epoch)
         cached_version, targets = self._poll_targets_cache
         if cached_version != version:
+            assigned = self._assigned
             targets = [
                 (key, info)
                 for key, info in self.metadata.get("partitions", {}).items()
                 if info["topic"] in self.subscriptions
+                and (assigned is None or key in assigned)
             ]
             self._poll_targets_cache = (version, targets)
         return targets
+
+    # -- group membership -----------------------------------------------------------
+    def _group_loop(self):
+        """Join the configured group, then heartbeat/commit/resync forever."""
+        config = self.config
+        while self.running:
+            if self._coordinator_host is None:
+                yield from self._find_coordinator()
+                if self._coordinator_host is None:
+                    yield self.sim.timeout(config.retry_backoff)
+                    continue
+            if not self._group_joined:
+                joined = yield from self._join_group()
+                if self.group_error is not None:
+                    # Permanent protocol error (misconfiguration): retrying
+                    # would hammer the coordinator forever without progress.
+                    return
+                if not joined:
+                    yield self.sim.timeout(config.retry_backoff)
+                    continue
+            yield self.sim.timeout(config.group_heartbeat_interval)
+            if self.running:
+                yield from self._group_heartbeat()
+
+    def _find_coordinator(self):
+        for bootstrap_host in self.bootstrap:
+            try:
+                reply = yield from self.transport.request(
+                    bootstrap_host,
+                    BROKER_PORT,
+                    {"type": "find_coordinator"},
+                    size=32,
+                    timeout=1.0,
+                )
+            except RequestTimeout:
+                continue
+            if reply.get("error") is None:
+                self._coordinator_host = reply["coordinator_host"]
+            return
+        return
+
+    def _join_group(self):
+        try:
+            reply = yield from self.transport.request(
+                self._coordinator_host,
+                COORDINATOR_PORT,
+                {
+                    "type": "join_group",
+                    "group": self.config.group,
+                    "member": self.name,
+                    "topics": list(self.subscriptions),
+                    "assignor": self.config.assignor,
+                },
+                size=96,
+                timeout=1.0,
+            )
+        except RequestTimeout:
+            return False
+        if reply.get("error") is not None:
+            # Join errors are misconfigurations (assignor mismatch/unknown),
+            # never transient: record and give up rather than retry forever.
+            self.group_error = reply["error"]
+            return False
+        self._apply_assignment(reply)
+        self._group_joined = True
+        return True
+
+    def _group_heartbeat(self):
+        offsets = {key: self.offsets.get(key, 0) for key in self._assigned or ()}
+        try:
+            reply = yield from self.transport.request(
+                self._coordinator_host,
+                COORDINATOR_PORT,
+                {
+                    "type": "group_heartbeat",
+                    "group": self.config.group,
+                    "member": self.name,
+                    "generation": self.generation,
+                    "offsets": offsets,
+                },
+                size=64 + 16 * len(offsets),
+                timeout=1.0,
+            )
+        except RequestTimeout:
+            return
+        error = reply.get("error")
+        if error is None:
+            return
+        if error == "rebalance":
+            yield from self._sync_group()
+        elif error == "unknown_member":
+            # Our session expired (e.g. a long coordinator partition): the
+            # coordinator has already handed our partitions to other members,
+            # so stop fetching them immediately and rejoin from scratch.
+            self._fenced()
+
+    def _fenced(self) -> None:
+        """Drop group membership and the assignment until a rejoin succeeds."""
+        self._group_joined = False
+        self._assigned = frozenset()
+        self._assignment_epoch += 1
+
+    def _sync_group(self):
+        try:
+            reply = yield from self.transport.request(
+                self._coordinator_host,
+                COORDINATOR_PORT,
+                {
+                    "type": "sync_group",
+                    "group": self.config.group,
+                    "member": self.name,
+                },
+                size=64,
+                timeout=1.0,
+            )
+        except RequestTimeout:
+            return
+        if reply.get("error") is not None:
+            self._fenced()
+            return
+        self._apply_assignment(reply)
+
+    def _apply_assignment(self, reply: dict) -> None:
+        """Adopt a (re)assignment: new partitions start at their committed offset.
+
+        Partitions we already own keep the local position when it is ahead of
+        the committed one (commits trail consumption by up to one heartbeat
+        interval; rewinding would re-deliver records we already handled).
+        """
+        new_assigned = frozenset(reply["assignment"])
+        committed = reply.get("offsets", {})
+        previous = self._assigned or frozenset()
+        for key in new_assigned:
+            offset = committed.get(key, 0)
+            if key in previous:
+                offset = max(offset, self.offsets.get(key, 0))
+            self.offsets[key] = offset
+        if reply["generation"] != self.generation:
+            self.rebalances += 1
+        self.generation = reply["generation"]
+        self._assigned = new_assigned
+        self._assignment_epoch += 1
+
+    def _leave_group(self):
+        offsets = {key: self.offsets.get(key, 0) for key in self._assigned or ()}
+        if self._coordinator_host is None:
+            return
+        try:
+            yield from self.transport.request(
+                self._coordinator_host,
+                COORDINATOR_PORT,
+                {
+                    "type": "leave_group",
+                    "group": self.config.group,
+                    "member": self.name,
+                    "offsets": offsets,
+                },
+                size=64 + 16 * len(offsets),
+                timeout=1.0,
+            )
+        except RequestTimeout:
+            return
 
     def _fetch_partition(self, key: str, info: dict):
         leader = info.get("leader")
@@ -198,6 +443,11 @@ class Consumer:
         cost = self.config.cpu_per_record * count
         if cost > 0:
             yield from self.host.compute(cost)
+        if not self.running:
+            # Stopped while the fetch was in flight: drop the batch without
+            # advancing offsets — a group member's leave-time committed
+            # offsets must match what it actually delivered.
+            return True
         if not self.config.keep_payloads and self.on_record is None:
             # Fast path for large experiments: the batch header already
             # carries the count, byte total and next offset — O(1) per fetch.

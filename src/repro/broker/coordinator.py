@@ -19,6 +19,19 @@ Two coordination modes are supported (``CoordinationMode``):
 
 The mode itself is enforced in :mod:`repro.broker.broker`; the coordinator's
 protocol is identical in both modes.
+
+Consumer groups
+---------------
+The coordinator is also the group coordinator (the role a designated broker
+plays in Kafka, and ZooKeeper plays for pykafka's balanced consumer): members
+join a named group, the coordinator computes a deterministic partition
+assignment (``range`` or ``roundrobin`` assignor over sorted members and
+sorted partitions), and any membership change — join, graceful leave, session
+expiry, broker failure — bumps the group *generation*.  Members discover a
+stale generation on their next heartbeat and re-sync their assignment.
+Committed offsets live with the group, piggybacked on heartbeats and leaves,
+so a partition handed to another member resumes where its previous owner
+committed.
 """
 
 from __future__ import annotations
@@ -33,6 +46,84 @@ from repro.network.transport import Request, Response, Transport
 from repro.broker.topic import PartitionState, TopicConfig
 
 COORDINATOR_PORT = 2181
+
+#: Assignor names accepted by ``join_group``.
+GROUP_ASSIGNORS = ("range", "roundrobin")
+
+
+def assign_range(
+    members: Dict[str, List[str]], partitions_by_topic: Dict[str, List[str]]
+) -> Dict[str, List[str]]:
+    """Kafka's range assignor: contiguous per-topic chunks of sorted partitions.
+
+    ``members`` maps member name -> subscribed topics.  Per topic, the sorted
+    subscribing members split the sorted partition list contiguously; the
+    first ``n_partitions % n_members`` members receive one extra partition.
+    Purely a function of its inputs, so every rebalance is deterministic.
+    """
+    assignment: Dict[str, List[str]] = {name: [] for name in members}
+    for topic in sorted(partitions_by_topic):
+        keys = partitions_by_topic[topic]
+        subscribers = sorted(name for name, topics in members.items() if topic in topics)
+        if not subscribers:
+            continue
+        base, extra = divmod(len(keys), len(subscribers))
+        start = 0
+        for index, name in enumerate(subscribers):
+            take = base + (1 if index < extra else 0)
+            assignment[name].extend(keys[start : start + take])
+            start += take
+    return assignment
+
+
+def assign_roundrobin(
+    members: Dict[str, List[str]], partitions_by_topic: Dict[str, List[str]]
+) -> Dict[str, List[str]]:
+    """Round-robin assignor: deal sorted (topic, partition) pairs to sorted members."""
+    assignment: Dict[str, List[str]] = {name: [] for name in members}
+    cursor = 0
+    for topic in sorted(partitions_by_topic):
+        subscribers = sorted(name for name, topics in members.items() if topic in topics)
+        if not subscribers:
+            continue
+        for key in partitions_by_topic[topic]:
+            assignment[subscribers[cursor % len(subscribers)]].append(key)
+            cursor += 1
+    return assignment
+
+
+_ASSIGNOR_FNS = {"range": assign_range, "roundrobin": assign_roundrobin}
+
+
+@dataclass
+class GroupMember:
+    """One live member of a consumer group."""
+
+    name: str
+    topics: List[str]
+    last_heartbeat: float
+
+
+@dataclass
+class GroupState:
+    """Coordinator-side state of one consumer group."""
+
+    name: str
+    assignor: str = "range"
+    generation: int = 0
+    members: Dict[str, GroupMember] = field(default_factory=dict)
+    #: member name -> assigned partition keys (sorted per member).
+    assignment: Dict[str, List[str]] = field(default_factory=dict)
+    #: partition key -> committed offset (next offset to consume).
+    committed: Dict[str, int] = field(default_factory=dict)
+
+    def subscribed_topics(self) -> List[str]:
+        topics: List[str] = []
+        for member in self.members.values():
+            for topic in member.topics:
+                if topic not in topics:
+                    topics.append(topic)
+        return sorted(topics)
 
 
 class CoordinationMode(str, enum.Enum):
@@ -87,6 +178,7 @@ class Coordinator:
         self.brokers: Dict[str, BrokerRegistration] = {}
         self.partitions: Dict[str, PartitionState] = {}
         self.topics: Dict[str, TopicConfig] = {}
+        self.groups: Dict[str, GroupState] = {}
         self.metadata_version = 0
         self._snapshot_size_cache: tuple = (None, 0)
         self.elections: List[ElectionRecord] = []
@@ -128,6 +220,14 @@ class Coordinator:
             return self._handle_create_topic(payload)
         if request_type == "isr_update":
             return self._handle_isr_update(payload)
+        if request_type == "join_group":
+            return self._handle_join_group(payload)
+        if request_type == "sync_group":
+            return self._handle_sync_group(payload)
+        if request_type == "group_heartbeat":
+            return self._handle_group_heartbeat(payload)
+        if request_type == "leave_group":
+            return self._handle_leave_group(payload)
         return {"error": f"unknown request type {request_type!r}"}
 
     def _handle_register(self, payload: dict) -> dict:
@@ -171,6 +271,126 @@ class Coordinator:
             self._bump()
         return {"version": self.metadata_version}
 
+    # -- consumer groups ---------------------------------------------------------------
+    def _handle_join_group(self, payload: dict) -> dict:
+        group_name = payload["group"]
+        member_name = payload["member"]
+        topics = list(payload.get("topics", []))
+        assignor = payload.get("assignor", "range")
+        if assignor not in GROUP_ASSIGNORS:
+            return {"error": f"unknown assignor {assignor!r}"}
+        group = self.groups.get(group_name)
+        if group is None:
+            group = self.groups[group_name] = GroupState(name=group_name, assignor=assignor)
+        elif not group.members:
+            # An emptied group adopts the next joiner's assignor.
+            group.assignor = assignor
+        elif assignor != group.assignor:
+            return {
+                "error": f"assignor mismatch: group {group_name!r} uses {group.assignor!r}"
+            }
+        group.members[member_name] = GroupMember(
+            name=member_name, topics=topics, last_heartbeat=self.sim.now
+        )
+        self._log("group-member-joined", group=group_name, member=member_name)
+        self._rebalance_group(group, reason="member-joined")
+        return self._group_sync_reply(group, member_name)
+
+    def _handle_sync_group(self, payload: dict) -> dict:
+        group = self.groups.get(payload["group"])
+        if group is None or payload["member"] not in group.members:
+            return {"error": "unknown_member"}
+        group.members[payload["member"]].last_heartbeat = self.sim.now
+        return self._group_sync_reply(group, payload["member"])
+
+    def _handle_group_heartbeat(self, payload: dict) -> dict:
+        group = self.groups.get(payload["group"])
+        if group is None or payload["member"] not in group.members:
+            return {"error": "unknown_member"}
+        group.members[payload["member"]].last_heartbeat = self.sim.now
+        # Offset commits piggyback on heartbeats and are accepted even under a
+        # stale generation (they describe work already done); commits only
+        # ever move forward, so a late heartbeat cannot rewind a partition a
+        # new owner has progressed past.
+        self._commit_offsets(group, payload.get("offsets"))
+        if payload.get("generation") != group.generation:
+            return {"error": "rebalance", "generation": group.generation}
+        return {"error": None, "generation": group.generation}
+
+    def _handle_leave_group(self, payload: dict) -> dict:
+        group = self.groups.get(payload["group"])
+        if group is None or payload["member"] not in group.members:
+            return {"error": "unknown_member"}
+        self._commit_offsets(group, payload.get("offsets"))
+        del group.members[payload["member"]]
+        self._log("group-member-left", group=group.name, member=payload["member"])
+        self._rebalance_group(group, reason="member-left")
+        return {"error": None, "generation": group.generation}
+
+    def _commit_offsets(self, group: GroupState, offsets: Optional[dict]) -> None:
+        if not offsets:
+            return
+        committed = group.committed
+        for key, offset in offsets.items():
+            if offset > committed.get(key, 0):
+                committed[key] = offset
+
+    def _group_sync_reply(self, group: GroupState, member: str) -> dict:
+        assigned = group.assignment.get(member, [])
+        return {
+            "error": None,
+            "generation": group.generation,
+            "assignment": list(assigned),
+            "offsets": {key: group.committed.get(key, 0) for key in assigned},
+            "session_timeout": self.session_timeout,
+        }
+
+    def _rebalance_group(self, group: GroupState, reason: str) -> None:
+        """Recompute the group's assignment and bump its generation.
+
+        Deterministic by construction: the assignors see sorted members and
+        sorted partition keys, so identical membership and metadata always
+        produce the identical assignment, whatever order events arrived in.
+        """
+        partitions_by_topic: Dict[str, List[str]] = {}
+        for topic in group.subscribed_topics():
+            keys = sorted(
+                (state.key for state in self.partitions.values() if state.topic == topic),
+                key=lambda key: self.partitions[key].partition,
+            )
+            partitions_by_topic[topic] = keys
+        member_topics = {name: member.topics for name, member in group.members.items()}
+        group.assignment = _ASSIGNOR_FNS[group.assignor](member_topics, partitions_by_topic)
+        group.generation += 1
+        self._log(
+            "group-rebalance",
+            group=group.name,
+            generation=group.generation,
+            reason=reason,
+            members=sorted(group.members),
+        )
+
+    def _rebalance_groups_for_topic(self, topic: str, reason: str) -> None:
+        for group in self.groups.values():
+            if group.members and topic in group.subscribed_topics():
+                self._rebalance_group(group, reason=reason)
+
+    def _expire_group_members(self, now: float) -> None:
+        for group in self.groups.values():
+            expired = [
+                name
+                for name, member in group.members.items()
+                if now - member.last_heartbeat > self.session_timeout
+            ]
+            for name in expired:
+                del group.members[name]
+                self._log("group-member-expired", group=group.name, member=name)
+            if expired:
+                self._rebalance_group(group, reason="member-expired")
+
+    def group_state(self, name: str) -> Optional[GroupState]:
+        return self.groups.get(name)
+
     # -- topic management --------------------------------------------------------------
     def create_topic(self, config: TopicConfig) -> List[PartitionState]:
         """Create a topic: assign replicas over live brokers and pick leaders."""
@@ -211,6 +431,9 @@ class Coordinator:
                 leader=state.leader,
             )
         self._bump()
+        # Groups already subscribed to this topic pick the new partitions up
+        # on their next heartbeat (generation bump -> sync).
+        self._rebalance_groups_for_topic(config.name, reason="topic-created")
         return states
 
     # -- metadata ---------------------------------------------------------------------
@@ -258,18 +481,28 @@ class Coordinator:
                     registration.alive = False
                     self._log("broker-session-expired", broker=registration.name)
                     self._handle_broker_failure(registration.name)
+            self._expire_group_members(now)
 
     def _handle_broker_failure(self, broker: str) -> None:
         changed = False
+        topics_with_new_leader = set()
         for state in self.partitions.values():
             if state.leader == broker:
                 self._elect_leader(state, exclude=broker, reason="leader-failure")
                 changed = True
+                topics_with_new_leader.add(state.topic)
             if broker in state.isr and len(state.isr) > 1:
                 state.shrink_isr(broker)
                 changed = True
         if changed:
             self._bump()
+        # Leadership moved: bump the generation of exactly the groups
+        # subscribed to an affected topic, so their members re-sync promptly
+        # and refresh metadata towards the newly elected leaders (the
+        # assignment itself is unchanged — partitions do not move between
+        # brokers on failures).  Unaffected groups see no churn.
+        for topic in sorted(topics_with_new_leader):
+            self._rebalance_groups_for_topic(topic, reason="broker-failure")
 
     def _elect_leader(
         self, state: PartitionState, exclude: Optional[str], reason: str

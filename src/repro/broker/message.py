@@ -44,15 +44,21 @@ class ProducerRecord:
         )
 
     def partition_for(self, n_partitions: int, fallback: int = 0) -> int:
-        """Choose the partition: explicit, key-hash, or round-robin fallback."""
+        """Choose the partition: explicit, key-hash, or round-robin fallback.
+
+        ``n_partitions == 0`` means the client has no metadata for the topic
+        yet: an explicit partition is trusted (the broker validates it on
+        produce), everything else lands on partition 0 — exactly where the
+        old "assume 1" fallback put it.
+        """
         if self.partition is not None:
-            if not 0 <= self.partition < n_partitions:
+            if n_partitions > 0 and not 0 <= self.partition < n_partitions:
                 raise ValueError(
                     f"partition {self.partition} out of range [0, {n_partitions})"
                 )
             return self.partition
-        if n_partitions == 1:
-            # Single-partition topic: every strategy lands on 0; skip hashing.
+        if n_partitions <= 1:
+            # Single-partition (or unknown) topic: every strategy lands on 0.
             return 0
         if self.key is not None:
             return _stable_hash(self.key) % n_partitions

@@ -76,9 +76,15 @@ class PendingRecord:
     Fire-and-forget sends (:meth:`Producer.send_noreport`) carry no delivery
     future and no report slot: ``future`` is ``None`` and ``sequence`` is
     ``-1``, and the ack/fail paths skip their bookkeeping for them.
+
+    ``partition`` is -1 while the record waits for topic metadata (keyed and
+    round-robin placement need the real partition count — hashing against a
+    guessed count would split a key across partitions).  ``fallback`` is the
+    shared round-robin index captured at send time, so late placement puts
+    the record exactly where send-time placement would have.
     """
 
-    __slots__ = ("record", "partition", "future", "enqueued_at", "sequence")
+    __slots__ = ("record", "partition", "future", "enqueued_at", "sequence", "fallback")
 
     def __init__(
         self,
@@ -87,12 +93,14 @@ class PendingRecord:
         future: Optional[Event],
         enqueued_at: float,
         sequence: int,
+        fallback: int = 0,
     ) -> None:
         self.record = record
         self.partition = partition
         self.future = future
         self.enqueued_at = enqueued_at
         self.sequence = sequence
+        self.fallback = fallback
 
 
 class DeliveryReport:
@@ -181,22 +189,16 @@ class Producer:
         """Queue a record for delivery; returns a future firing with RecordMetadata."""
         future = self.sim.event()
         now = self.sim.now
-        n_partitions = self._partition_count(record.topic)
-        partition = record.partition_for(n_partitions, fallback=self._partition_fallback)
+        pending = PendingRecord(
+            record, -1, future, now, self._sequence, fallback=self._partition_fallback
+        )
         self._partition_fallback += 1
-        pending = PendingRecord(record, partition, future, now, self._sequence)
         self.reports.append(
             DeliveryReport(self._sequence, record.topic, record.key, now)
         )
         self._sequence += 1
         self.records_sent += 1
-        if self._buffer_used + record.size <= self.config.buffer_memory:
-            self._buffer_used += record.size
-            self._enqueue(pending)
-        else:
-            # Buffer full: the record waits outside the accumulator until
-            # acknowledgements free space (blocking-producer semantics).
-            self._waiting_for_buffer.append(pending)
+        self._place_or_wait(pending)
         return future
 
     def send_noreport(self, record: ProducerRecord) -> None:
@@ -210,16 +212,51 @@ class Producer:
         in ``records_sent`` / ``records_acked`` / ``records_failed``.
         """
         now = self.sim.now
-        n_partitions = self._partition_count(record.topic)
-        partition = record.partition_for(n_partitions, fallback=self._partition_fallback)
+        pending = PendingRecord(
+            record, -1, None, now, -1, fallback=self._partition_fallback
+        )
         self._partition_fallback += 1
-        pending = PendingRecord(record, partition, None, now, -1)
         self.records_sent += 1
+        self._place_or_wait(pending)
+
+    def _place_or_wait(self, pending: PendingRecord) -> None:
+        """Route a fresh pending record: accumulator, or the waiting line.
+
+        A record waits (outside ``buffer.memory`` accounting) when the buffer
+        is full *or* when the topic's partition count is still unknown —
+        keyed/round-robin placement against a guessed count would strand
+        records of one key on the wrong partition, so placement is deferred
+        to the first metadata refresh instead.  Explicit-partition records
+        never wait on metadata (the broker validates them on produce).
+        """
+        record = pending.record
+        if not self._resolve_partition(pending):
+            self._waiting_for_buffer.append(pending)
+            return
         if self._buffer_used + record.size <= self.config.buffer_memory:
             self._buffer_used += record.size
             self._enqueue(pending)
         else:
+            # Buffer full: the record waits outside the accumulator until
+            # acknowledgements free space (blocking-producer semantics).
             self._waiting_for_buffer.append(pending)
+
+    def _resolve_partition(self, pending: PendingRecord) -> bool:
+        """Assign the pending record's partition if the metadata allows.
+
+        Returns False while the topic's partition count is unknown and the
+        record has no explicit partition — the single placement rule shared
+        by send-time and admit-time paths, so a record places identically
+        whenever the decision happens.
+        """
+        if pending.partition >= 0:
+            return True
+        record = pending.record
+        n_partitions = self._partition_count(record.topic)
+        if record.partition is None and n_partitions == 0:
+            return False
+        pending.partition = record.partition_for(n_partitions, fallback=pending.fallback)
+        return True
 
     def flush_pending(self) -> int:
         """Number of records not yet acknowledged or failed."""
@@ -290,6 +327,8 @@ class Producer:
 
         ``send`` calls this once per record; rescanning the whole partition
         map each time dominated the client-side cost at high record rates.
+        Returns 0 while the topic is absent from the metadata (placement then
+        trusts an explicit partition and routes everything else to 0).
         """
         version = self.metadata.get("version", -1)
         cached_version, counts = self._partition_count_cache
@@ -301,7 +340,7 @@ class Producer:
                     counts.get(topic_name, 0), info["partition"] + 1
                 )
             self._partition_count_cache = (version, counts)
-        return counts.get(topic, 0) or 1
+        return counts.get(topic, 0)
 
     # -- sender machinery -----------------------------------------------------------------
     def _sender_loop(self):
@@ -331,12 +370,33 @@ class Producer:
             self._maybe_schedule_flush(key)
 
     def _admit_waiting_records(self) -> None:
+        """Move waiting records into the accumulator as space/metadata allow.
+
+        Waiting records still honor ``delivery_timeout``: a record parked on
+        a topic that never appears in the metadata (or starved by a full
+        buffer) fails with :class:`DeliveryFailed` at its deadline instead of
+        waiting forever.
+        """
         if not self._waiting_for_buffer:
             return
+        now = self.sim.now
+        expired = [
+            pending
+            for pending in self._waiting_for_buffer
+            if now >= pending.enqueued_at + self.config.delivery_timeout
+        ]
+        if expired:
+            for pending in expired:
+                self._waiting_for_buffer.remove(pending)
+            # Waiting records never entered buffer accounting.
+            self._fail_batch(expired, reason="delivery timeout", free_buffer=False)
         admitted = []
         for pending in self._waiting_for_buffer:
-            if self._buffer_used + pending.record.size <= self.config.buffer_memory:
-                self._buffer_used += pending.record.size
+            record = pending.record
+            if not self._resolve_partition(pending):
+                continue  # still no metadata for this topic
+            if self._buffer_used + record.size <= self.config.buffer_memory:
+                self._buffer_used += record.size
                 self._enqueue(pending)
                 admitted.append(pending)
         for pending in admitted:
@@ -450,10 +510,13 @@ class Producer:
         self._buffer_used -= freed
         self.records_acked += len(batch)
 
-    def _fail_batch(self, batch: List[PendingRecord], reason: str) -> None:
+    def _fail_batch(
+        self, batch: List[PendingRecord], reason: str, free_buffer: bool = True
+    ) -> None:
         now = self.sim.now
         for pending in batch:
-            self._buffer_used -= pending.record.size
+            if free_buffer:
+                self._buffer_used -= pending.record.size
             self.records_failed += 1
             if pending.sequence < 0:  # fire-and-forget: no report, no future
                 continue
@@ -486,6 +549,10 @@ class Producer:
             metadata = reply.get("metadata")
             if metadata and metadata.get("version", -1) >= self.metadata.get("version", -1):
                 self.metadata = metadata
+                # Records parked on an unknown partition count place as soon
+                # as metadata lands (their captured round-robin index keeps
+                # placement identical to send-time placement).
+                self._admit_waiting_records()
             return
         return
 

@@ -132,6 +132,11 @@ class ProducerStubConfig:
     buffer_memory: int = 32 * 1024 * 1024
     acks: Any = 1
     start_delay: float = 0.0
+    #: Dict field of each produced item to use as the record key (``keyField``
+    #: in YAML).  Keyed records hash to a stable partition, so multi-partition
+    #: topics preserve per-entity order; unset falls back to the stub's
+    #: sequential key.
+    key_field: Optional[str] = None
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ProducerStubConfig":
@@ -159,6 +164,7 @@ class ProducerStubConfig:
             buffer_memory=_size_to_bytes(data.get("bufferMemory"), 32 * 1024 * 1024),
             acks=data.get("acks", 1),
             start_delay=_duration_to_seconds(data.get("startDelay"), 0.0),
+            key_field=data.get("keyField") or data.get("key_field"),
         )
 
     @property

@@ -20,7 +20,7 @@ from repro.engine.context import StreamingContext, StreamingConfig
 from repro.engine.dstream import DStream
 from repro.engine.executor import ExecutorConfig
 from repro.engine.sinks import KafkaSink, MemorySink, StoreSink
-from repro.engine.sources import KafkaSource, MemorySource
+from repro.engine.sources import KafkaSource, MemorySource, MergingSource
 
 __all__ = [
     "StreamingContext",
@@ -29,6 +29,7 @@ __all__ = [
     "ExecutorConfig",
     "KafkaSource",
     "MemorySource",
+    "MergingSource",
     "KafkaSink",
     "MemorySink",
     "StoreSink",

@@ -10,7 +10,7 @@ from repro.broker.producer import ProducerConfig
 from repro.engine.dstream import DStream
 from repro.engine.executor import Executor, ExecutorConfig
 from repro.engine.sinks import KafkaSink, Sink
-from repro.engine.sources import KafkaSource, MemorySource, Source
+from repro.engine.sources import KafkaSource, MemorySource, MergingSource, Source
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.broker.cluster import BrokerCluster
@@ -83,8 +83,15 @@ class StreamingContext:
         topics: List[str],
         consumer_config: Optional[ConsumerConfig] = None,
         value_from_record=None,
+        partitions: Optional[List[int]] = None,
+        group: Optional[str] = None,
     ) -> DStream:
-        """A stream consuming from the event streaming platform."""
+        """A stream consuming from the event streaming platform.
+
+        ``partitions`` statically assigns the stream specific partitions of a
+        single topic; ``group`` joins a coordinator-managed consumer group so
+        several contexts can split a topic's partitions between them.
+        """
         if self.cluster is None:
             raise RuntimeError("kafka_stream() requires a StreamingContext with a cluster")
         source = KafkaSource(
@@ -93,7 +100,44 @@ class StreamingContext:
             bootstrap=self.cluster.bootstrap_hosts(prefer=self.host.name),
             consumer_config=consumer_config,
             value_from_record=value_from_record,
+            partitions=partitions,
+            group=group,
         )
+        self.sources.append(source)
+        return DStream(self, source)
+
+    def sharded_kafka_stream(
+        self,
+        topic: str,
+        partitions: List[int],
+        consumer_config: Optional[ConsumerConfig] = None,
+    ) -> DStream:
+        """A partition-sharded stream: one source instance per assigned partition.
+
+        Each partition gets its own :class:`KafkaSource` (its own consumer
+        client fetching exactly that partition); a :class:`MergingSource`
+        merges their pending records in partition order at every micro-batch
+        boundary, so the merged output is deterministic under the simulator
+        and per-key order survives sharding.  Chain ``.repartition_by_key()``
+        before keyed stateful operators to regroup records by key.
+        """
+        if self.cluster is None:
+            raise RuntimeError(
+                "sharded_kafka_stream() requires a StreamingContext with a cluster"
+            )
+        bootstrap = self.cluster.bootstrap_hosts(prefer=self.host.name)
+        children = [
+            KafkaSource(
+                self.host,
+                topics=[topic],
+                bootstrap=bootstrap,
+                consumer_config=consumer_config,
+                name=f"{self.name}-{topic}-p{partition}",
+                partitions=[partition],
+            )
+            for partition in partitions
+        ]
+        source = MergingSource(children, name=f"{self.name}-{topic}-sharded")
         self.sources.append(source)
         return DStream(self, source)
 

@@ -14,6 +14,7 @@ from repro.engine.operators import (
     MapPairsOperator,
     Operator,
     ReduceByKeyOperator,
+    RepartitionByKeyOperator,
     UpdateStateByKeyOperator,
     WindowOperator,
 )
@@ -75,6 +76,10 @@ class DStream:
     def reduce_by_key(self, fn: Callable[[Any, Any], Any]) -> "DStream":
         """Combine values per key within each micro-batch."""
         return self._derive(ReduceByKeyOperator(fn))
+
+    def repartition_by_key(self) -> "DStream":
+        """Regroup interleaved multi-partition input by key (order-preserving)."""
+        return self._derive(RepartitionByKeyOperator())
 
     def group_by_key(self) -> "DStream":
         """Collect the batch's values per key into lists."""

@@ -89,6 +89,35 @@ class MapPairsOperator(Operator):
         return output
 
 
+class RepartitionByKeyOperator(Operator):
+    """Regroup the batch by record key (the in-engine shuffle stage).
+
+    When records arrive interleaved from several topic partitions (the
+    sharded ingest plane), this operator groups them so all records of one
+    key are contiguous, in first-seen key order, each group in arrival order.
+    Because keyed producers route a key to exactly one partition and
+    partition order is FIFO, the per-key sequence after repartitioning equals
+    the per-key produce order — per-key order survives sharding.
+    """
+
+    name = "repartition_by_key"
+
+    def apply(self, batch: List[StreamRecord], now: float) -> List[StreamRecord]:
+        groups: Dict[Any, List[StreamRecord]] = {}
+        for record in batch:
+            group = groups.get(record.key)
+            if group is None:
+                groups[record.key] = [record]
+            else:
+                group.append(record)
+        if len(groups) <= 1:
+            return batch
+        output: List[StreamRecord] = []
+        for group in groups.values():
+            output.extend(group)
+        return output
+
+
 class ReduceByKeyOperator(Operator):
     """Combine the values of each key within the micro-batch."""
 

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, List, Optional
+import dataclasses
+from typing import TYPE_CHECKING, Any, List, Optional, Sequence
 
 from repro.broker.batch import RecordBatch
 from repro.broker.consumer import Consumer, ConsumerConfig, ConsumerRecord
@@ -74,9 +75,19 @@ class KafkaSource(Source):
         consumer_config: Optional[ConsumerConfig] = None,
         name: Optional[str] = None,
         value_from_record=None,
+        partitions: Optional[Sequence[int]] = None,
+        group: Optional[str] = None,
     ) -> None:
+        """``partitions`` statically assigns this source specific partitions of
+        a single topic (one source instance per assigned partition is the
+        sharded-ingest pattern — see :meth:`StreamingContext.sharded_kafka_stream`);
+        ``group`` instead joins a coordinator-managed consumer group."""
         super().__init__(name=name or f"kafka-source-{host.name}")
         config = consumer_config or ConsumerConfig(keep_payloads=False)
+        if group is not None:
+            config = dataclasses.replace(config, group=group)
+        if partitions is not None and len(topics) != 1:
+            raise ValueError("a partition-assigned KafkaSource takes exactly one topic")
         self.value_from_record = value_from_record
         # The batch fast path only applies while nothing demands per-record
         # ConsumerRecord objects (custom value hook or kept payloads).
@@ -90,6 +101,8 @@ class KafkaSource(Source):
             on_batch=self._on_wire_batch if batch_native else None,
         )
         self.consumer.subscribe(topics)
+        if partitions is not None:
+            self.consumer.assign(topics[0], list(partitions))
         self.host = host
 
     def _on_wire_batch(
@@ -133,11 +146,49 @@ class KafkaSource(Source):
         self.consumer.stop()
 
 
+class MergingSource(Source):
+    """Deterministic merge of several child sources into one micro-batch feed.
+
+    The partition-aware ingest plane runs one :class:`KafkaSource` per
+    assigned partition; this façade presents them to the driver as a single
+    source.  ``drain()`` concatenates the children's pending records *in
+    child (partition) order*, so the merged micro-batch order is a pure
+    function of the simulated fetch schedule — per-partition offset order is
+    preserved within each child, and therefore per-key order survives
+    sharding (a key always lives in exactly one partition).
+    """
+
+    def __init__(self, children: List[Source], name: str = "merging-source") -> None:
+        super().__init__(name=name)
+        self.children = list(children)
+
+    def drain(self) -> List[StreamRecord]:
+        merged: List[StreamRecord] = []
+        for child in self.children:
+            merged.extend(child.drain())
+        self.records_ingested += len(merged)
+        return merged
+
+    @property
+    def backlog(self) -> int:
+        return sum(child.backlog for child in self.children)
+
+    def start(self) -> None:
+        for child in self.children:
+            child.start()
+
+    def stop(self) -> None:
+        for child in self.children:
+            child.stop()
+
+
 def kafka_source_for_cluster(
     cluster: "BrokerCluster",
     host_name: str,
     topics: List[str],
     consumer_config: Optional[ConsumerConfig] = None,
+    partitions: Optional[Sequence[int]] = None,
+    group: Optional[str] = None,
 ) -> KafkaSource:
     """Convenience constructor wiring a KafkaSource to a cluster's bootstrap list."""
     host = cluster.network.host(host_name)
@@ -146,5 +197,7 @@ def kafka_source_for_cluster(
         topics=topics,
         bootstrap=cluster.bootstrap_hosts(prefer=host_name),
         consumer_config=consumer_config,
+        partitions=partitions,
+        group=group,
     )
     return source

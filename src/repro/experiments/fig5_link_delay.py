@@ -45,6 +45,8 @@ class Fig5Config:
     files_per_second: float = 5.0
     baseline_delay_ms: float = 5.0
     duration: float = 60.0
+    #: Partitions per word-count topic (documents are keyed by file name).
+    partitions: int = 1
     seed: int = 1
 
 
@@ -102,6 +104,7 @@ def run_single(component: str, delay_ms: float, config: Fig5Config) -> List[floa
         link_latency_ms=config.baseline_delay_ms,
         per_component_latency={role: delay_ms},
         files_per_second=config.files_per_second,
+        partitions=config.partitions,
     )
     # Pre-generated: every sweep point replays the identical seeded corpus,
     # so synthesis runs once for the whole figure.

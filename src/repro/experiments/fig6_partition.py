@@ -67,6 +67,11 @@ class Fig6Config:
     seed: int = 3
     #: Site index (1-based) whose broker leads topic A and gets disconnected.
     leader_site_index: int = 3
+    #: Partitions per topic.  The paper runs 1; with more, replica sets rotate
+    #: across the sites, the pinned preferred leader keeps partition 0 of
+    #: topic A on the disconnected site, and the fault triggers one election
+    #: per partition that site led.
+    partitions: int = 1
 
 
 @dataclass
@@ -132,6 +137,7 @@ def run_fig6(config: Optional[Fig6Config] = None) -> Fig6Result:
     cluster.add_topic(
         TopicConfig(
             name=TOPIC_A,
+            partitions=config.partitions,
             replication_factor=config.replication_factor,
             preferred_leader=f"broker-{leader_site}",
         )
@@ -139,6 +145,7 @@ def run_fig6(config: Optional[Fig6Config] = None) -> Fig6Result:
     cluster.add_topic(
         TopicConfig(
             name=TOPIC_B,
+            partitions=config.partitions,
             replication_factor=config.replication_factor,
             preferred_leader=f"broker-{other_leader}",
         )

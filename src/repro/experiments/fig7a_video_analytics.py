@@ -42,6 +42,8 @@ class Fig7aConfig:
     consumer_cpu_per_frame: float = 100e-6
     #: CPU cost per frame on the broker side (fetch serving).
     broker_cpu_per_record: float = 12e-6
+    #: Partitions of the frames topic (frames are keyed by frame id).
+    partitions: int = 1
     seed: int = 5
 
 
@@ -77,7 +79,9 @@ def run_single(n_consumers: int, config: Fig7aConfig) -> Dict[str, object]:
     cluster = BrokerCluster(network, coordinator_host="node", config=ClusterConfig())
     broker = cluster.add_broker("node")
     broker.config.cpu_per_record = config.broker_cpu_per_record
-    cluster.add_topic(TopicConfig(name="frames", replication_factor=1))
+    cluster.add_topic(
+        TopicConfig(name="frames", partitions=config.partitions, replication_factor=1)
+    )
     cluster.start(settle_time=1.0)
 
     frames = generate_frames(config.n_frames, seed=config.seed)

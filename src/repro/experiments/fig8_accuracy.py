@@ -67,6 +67,8 @@ class Fig8Config:
     n_documents: int = 30
     files_per_second: float = 5.0
     duration: float = 60.0
+    #: Partitions per word-count topic.
+    partitions: int = 1
     seed: int = 2
 
 
@@ -119,6 +121,7 @@ def run_single(
         link_latency_ms=5.0,
         per_component_latency={role: delay_ms},
         files_per_second=config.files_per_second,
+        partitions=config.partitions,
     )
     # Pre-generated: the (component, delay, profile) sweep replays one corpus.
     documents = pregenerated(generate_documents, config.n_documents, seed=config.seed)

@@ -45,6 +45,8 @@ class Fig9Config:
     duration: float = 90.0
     warmup: float = 60.0
     replication_factor: int = 2
+    #: Partitions per topic (replica sets rotate across the sites).
+    partitions: int = 1
     seed: int = 4
 
 
@@ -97,8 +99,12 @@ def run_single(n_sites: int, buffer_size: int, config: Fig9Config) -> ResourceRe
     for site in sites:
         cluster.add_broker(site)
     replication = min(config.replication_factor, n_sites)
-    cluster.add_topic(TopicConfig(name="topicA", replication_factor=replication))
-    cluster.add_topic(TopicConfig(name="topicB", replication_factor=replication))
+    cluster.add_topic(
+        TopicConfig(name="topicA", partitions=config.partitions, replication_factor=replication)
+    )
+    cluster.add_topic(
+        TopicConfig(name="topicB", partitions=config.partitions, replication_factor=replication)
+    )
 
     producer_config = ProducerStubConfig(
         topics=["topicA", "topicB"],

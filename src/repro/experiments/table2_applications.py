@@ -47,6 +47,8 @@ class Table2Config:
     run_pipelines: bool = True
     n_items: int = 60
     duration: float = 40.0
+    #: Partitions per application topic (every app's task plumbs it through).
+    partitions: int = 1
     seed: int = 1
 
 
@@ -88,13 +90,13 @@ def _run_application(name: str, config: Table2Config) -> Dict[str, object]:
     if name == "word_count":
         result = word_count.run(
             n_documents=config.n_items, duration=config.duration, seed=config.seed,
-            files_per_second=10.0,
+            files_per_second=10.0, partitions=config.partitions,
         )
         return {"consumed": result.messages_consumed, "verified": result.messages_consumed > 0}
     if name == "ride_selection":
         result = ride_selection.run(
             n_rides=config.n_items, duration=config.duration, seed=config.seed,
-            rides_per_second=15.0,
+            rides_per_second=15.0, partitions=config.partitions,
         )
         return {
             "consumed": result.messages_consumed,
@@ -103,7 +105,7 @@ def _run_application(name: str, config: Table2Config) -> Dict[str, object]:
     if name == "sentiment_analysis":
         result = sentiment_analysis.run(
             n_tweets=config.n_items, duration=config.duration, seed=config.seed,
-            tweets_per_second=15.0,
+            tweets_per_second=15.0, partitions=config.partitions,
         )
         return {
             "consumed": result.extras.get("scored_tweets", 0),
@@ -112,7 +114,7 @@ def _run_application(name: str, config: Table2Config) -> Dict[str, object]:
     if name == "maritime_monitoring":
         result = maritime_monitoring.run(
             n_messages=config.n_items, duration=config.duration, seed=config.seed,
-            messages_per_second=15.0,
+            messages_per_second=15.0, partitions=config.partitions,
         )
         return {
             "consumed": result.spe_metrics.get("h3", {}).get("input_records", 0),
@@ -121,7 +123,7 @@ def _run_application(name: str, config: Table2Config) -> Dict[str, object]:
     if name == "fraud_detection":
         result = fraud_detection.run(
             n_transactions=config.n_items, duration=config.duration, seed=config.seed,
-            fraud_rate=0.2, transactions_per_second=15.0,
+            fraud_rate=0.2, transactions_per_second=15.0, partitions=config.partitions,
         )
         return {
             "consumed": result.messages_consumed,

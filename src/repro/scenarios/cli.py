@@ -17,6 +17,12 @@ Commands
     ``--sweep`` accepts ``field=v1,v2,...`` (or bare ``v1,v2,...`` to target
     the scenario's natural axis) and may repeat to form a product; each
     value becomes one full scenario run, all sharded across ``--workers``.
+
+    ``--reps N`` repeats every configuration N times with derived seeds
+    (``derive_seed(base, "rep", r)``) and reports ``<metric>_mean`` /
+    ``<metric>_ci95`` aggregates — a per-point seed study, e.g.::
+
+        python -m repro run fig7b --reps 5 --workers 4
 """
 
 from __future__ import annotations
@@ -72,6 +78,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="[FIELD=]V1,V2,...",
         help="sweep a config field; bare values target the scenario's sweep axis",
     )
+    run_parser.add_argument(
+        "--reps",
+        type=int,
+        default=1,
+        metavar="N",
+        help="repeat each configuration N times with derived seeds; metrics "
+        "gain <name>_mean / <name>_ci95 aggregates",
+    )
     run_parser.add_argument("--json", action="store_true", help="emit a JSON summary")
     run_parser.add_argument(
         "--check",
@@ -107,13 +121,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     except KeyError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    if args.reps < 1:
+        print(f"error: --reps must be >= 1, got {args.reps}", file=sys.stderr)
+        return 2
     params = ScenarioParams(
         scale=args.scale,
         seed=args.seed,
         overrides=dict(_parse_override(item) for item in args.overrides),
     )
     try:
-        if args.sweeps:
+        if args.sweeps or args.reps > 1:
             return _run_sweep(scenario, params, args)
         result = ScenarioRunner(scenario).run(params=params, workers=args.workers)
     except ValueError as error:
@@ -131,13 +148,18 @@ def _run_sweep(scenario, params: ScenarioParams, args: argparse.Namespace) -> in
     for item in args.sweeps:
         field_name, values = _parse_sweep(item)
         sweep.over(field_name, values)
+    if args.reps > 1:
+        sweep.repetitions(args.reps)
     outcome = sweep.run(workers=args.workers)
     if args.json:
         print(json.dumps(outcome.summary(), indent=2, default=str))
     else:
+        axes_label = (
+            " x ".join(f"{name}={values}" for name, values in outcome.axes)
+            or f"reps={args.reps}"
+        )
         print(
-            f"sweep {outcome.scenario} over "
-            + " x ".join(f"{name}={values}" for name, values in outcome.axes)
+            f"sweep {outcome.scenario} over {axes_label}"
             + f"  ({len(outcome.runs)} runs, workers={outcome.workers}, "
             f"{outcome.wall_seconds:.2f}s)"
         )

@@ -39,6 +39,8 @@ class QuickstartConfig:
     files_per_second: float = 10.0
     link_latency_ms: float = 5.0
     duration: float = 60.0
+    #: Partitions per topic (``--set partitions=4`` shards the whole pipeline).
+    partitions: int = 1
     seed: int = 42
 
 
@@ -49,6 +51,7 @@ def run_quickstart(config: QuickstartConfig) -> Dict[str, Any]:
         n_documents=config.n_documents,
         files_per_second=config.files_per_second,
         link_latency_ms=config.link_latency_ms,
+        partitions=config.partitions,
     )
     documents = pregenerated(generate_documents, config.n_documents, seed=config.seed)
     emulation = Emulation(task, seed=config.seed, datasets={"documents": documents})
@@ -158,11 +161,18 @@ class GraphmlTaskConfig:
 
     n_documents: int = 30
     duration: float = 45.0
+    #: ``> 1`` shards every topic of the GraphML listing to this count; ``1``
+    #: (the default) keeps whatever counts the listing's ``topicCfg``
+    #: declares (which also accepts a ``partitions`` entry inline).
+    partitions: int = 1
     seed: int = 7
 
 
 def run_graphml_task(config: GraphmlTaskConfig) -> Dict[str, Any]:
     task = parse_graphml_string(GRAPHML_TASK, name="figure4-example")
+    if config.partitions > 1:
+        for topic in task.topics:
+            topic.partitions = config.partitions
     problems = task.validate()
     documents = pregenerated(generate_documents, config.n_documents, seed=config.seed)
     emulation = Emulation(task, seed=config.seed, datasets={"documents": documents})
@@ -296,6 +306,8 @@ class FraudPipelineConfig:
     duration: float = 60.0
     fraud_rate: float = 0.1
     transactions_per_second: float = 30.0
+    #: Partitions per topic (transactions are keyed by account id).
+    partitions: int = 1
     seed: int = 13
 
 
@@ -308,6 +320,7 @@ def run_fraud_pipeline(config: FraudPipelineConfig) -> Dict[str, Any]:
         seed=config.seed,
         fraud_rate=config.fraud_rate,
         transactions_per_second=config.transactions_per_second,
+        partitions=config.partitions,
     )
     alerts = result.extras["alerts"]
     true_positives = result.extras["true_positive_alerts"]

@@ -63,6 +63,11 @@ class ProducerStub:
 
     # -- helpers -------------------------------------------------------------------
     def _send(self, topic: str, value: Any, key: Any = None, size: Optional[int] = None):
+        key_field = self.config.key_field
+        if key_field is not None and isinstance(value, dict) and key_field in value:
+            # Entity-stable keys (flow id, account id, ...) so keyed hash
+            # partitioning keeps one entity's records on one partition.
+            key = value[key_field]
         record = ProducerRecord(
             topic=topic,
             value=value,

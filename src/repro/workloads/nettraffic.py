@@ -117,6 +117,18 @@ class TrafficSlotBatch:
             yield user, value, max(256, self.user_bytes[index] // 20)
             start = end
 
+    def iter_keyed_reports(self) -> Iterator[Tuple[str, dict, int]]:
+        """Yield ``(flow_key, report_value, report_size)`` per active user.
+
+        The flow key is the user's stable flow identity (``flow-<user>``) —
+        the same user always maps to the same key, so keyed partitioning
+        routes one user's whole traffic history to one partition and per-flow
+        order survives topic sharding.  Values and sizes are identical to
+        :meth:`iter_user_reports`.
+        """
+        for user, value, size in self.iter_user_reports():
+            yield flow_key(user), value, size
+
     def to_packet_dicts(self) -> List[Dict]:
         """Materialize the legacy per-packet dict records (compat API)."""
         packets: List[Dict] = []
@@ -144,6 +156,11 @@ class TrafficSlotBatch:
 def service_name(service_id: int) -> str:
     """Resolve a column's service id back to its name."""
     return _SERVICE_NAMES[service_id]
+
+
+def flow_key(user: int) -> str:
+    """Stable record key for one user's traffic flow (keyed partitioning)."""
+    return f"flow-{user:04d}"
 
 
 def generate_traffic_batches(

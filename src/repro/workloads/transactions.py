@@ -39,10 +39,16 @@ def generate_transactions(
             hour = rng.randint(6, 22)
             distance_km = rng.uniform(0, 60)
             velocity = rng.uniform(0, 4)
+        card = rng.randint(1, 2000)
         transactions.append(
             {
                 "tx_id": f"tx-{index:07d}",
-                "card_id": f"card-{rng.randint(1, 2000):05d}",
+                "card_id": f"card-{card:05d}",
+                # Stable per-card account identity (derived, not drawn: the RNG
+                # sequence is unchanged) — the record key for keyed topic
+                # partitioning, so one account's transactions stay ordered on
+                # one partition.
+                "account_id": f"acct-{card:05d}",
                 "amount": round(amount, 2),
                 "hour": hour,
                 "merchant_category": rng.choice(MERCHANT_CATEGORIES),

@@ -335,6 +335,100 @@ class TestCli:
         assert cli_main(["run", "no-such-scenario"]) == 2
         assert cli_main(["run", "fig7b", "--scale", "galactic"]) == 2
 
+    def test_quickstart_with_four_partitions_passes_check(self):
+        """The whole catalog accepts ``--set partitions=N``; the quickstart
+        pipeline runs sharded end-to-end and passes its checks."""
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            code = cli_main(["run", "quickstart", "--set", "partitions=4", "--check"])
+        assert code == 0
+        assert "scenario quickstart" in buffer.getvalue()
+
+    def test_partitions_sweep_axis_works_for_fig7b(self):
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            code = cli_main(
+                ["run", "fig7b", "--scale", "quick", "--set", "slots=4",
+                 "--set", "user_counts=20", "--sweep", "partitions=1,2", "--json"]
+            )
+        assert code == 0
+        import json
+
+        payload = json.loads(buffer.getvalue())
+        assert [run_["values"] for run_ in payload["runs"]] == [[1], [2]]
+
+    def test_reps_flag_reports_mean_and_ci(self):
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            code = cli_main(
+                ["run", "fig7b", "--scale", "quick", "--set", "slots=4",
+                 "--set", "user_counts=20", "--reps", "2", "--json"]
+            )
+        assert code == 0
+        import json
+
+        payload = json.loads(buffer.getvalue())
+        (entry,) = payload["runs"]
+        assert entry["metrics"]["repetitions"] == 2
+        assert "mean_runtime_20u_s_mean" in entry["metrics"]
+        assert "mean_runtime_20u_s_ci95" in entry["metrics"]
+
+
+class TestSweepRepetitions:
+    """Per-point seed studies: N derived-seed reps per configuration."""
+
+    def _sweep(self):
+        return (
+            Sweep("fig7b", params=ScenarioParams(scale="quick", overrides={"slots": 4}))
+            .over("user_counts", [20])
+            .repetitions(3)
+        )
+
+    def test_rep_seeds_derived_and_deterministic(self):
+        result = self._sweep().run().results()[0]
+        base_seed = result.seed
+        assert result.metrics["repetitions"] == 3
+        assert result.metrics["rep_seeds"] == [
+            base_seed,
+            derive_seed(base_seed, "rep", 1),
+            derive_seed(base_seed, "rep", 2),
+        ]
+        again = self._sweep().run().results()[0]
+        assert again.metrics == result.metrics
+
+    def test_mean_and_ci_aggregate_numeric_metrics(self):
+        result = self._sweep().run().results()[0]
+        metrics = result.metrics
+        assert "mean_runtime_20u_s_mean" in metrics
+        assert metrics["mean_runtime_20u_s_ci95"] >= 0.0
+        # Rep 0 runs the base seed, so the primary value is a plain-run value.
+        plain = (
+            Sweep("fig7b", params=ScenarioParams(scale="quick", overrides={"slots": 4}))
+            .over("user_counts", [20])
+            .run()
+            .results()[0]
+        )
+        assert metrics["mean_runtime_20u_s"] == plain.metrics["mean_runtime_20u_s"]
+
+    def test_repetitions_one_is_a_plain_sweep(self):
+        base = self._sweep()
+        base._repetitions = 1
+        result = base.run().results()[0]
+        assert "repetitions" not in result.metrics
+
+    def test_zero_axis_repetition_study_allowed(self):
+        outcome = (
+            Sweep("fig7b", params=ScenarioParams(scale="quick", overrides={"slots": 4}))
+            .repetitions(2)
+            .run()
+        )
+        assert len(outcome.runs) == 1
+        assert outcome.results()[0].metrics["repetitions"] == 2
+
+    def test_invalid_repetitions_rejected(self):
+        with pytest.raises(ValueError, match="repetitions"):
+            Sweep("fig7b").repetitions(0)
+
 
 class TestExecutePoints:
     def test_sequential_order_preserved(self):
