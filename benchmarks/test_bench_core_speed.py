@@ -12,7 +12,9 @@ trajectory to beat:
 * end-to-end produce->consume record throughput through the batch-native
   broker wire path (client send -> broker append -> fetch -> header decode),
   plus the sharded variant (4 partitions / 4-member consumer group) and the
-  partition-scaling ratio of their simulated drain windows;
+  partition-scaling ratio of their simulated drain windows, plus the
+  idempotent-producer variant (sequence stamping + broker dedup table) and
+  its overhead ratio versus the plain reported-send path;
 * wall-clock of two packet-heavy experiments at their quick-test scale
   (fig6 partition, fig7b traffic monitoring) *and* at paper scale
   (fig6: 10 sites / 600 s; fig7b: the full 20-100-user sweep).
@@ -71,8 +73,8 @@ def _machine_id() -> str:
     return f"{platform.node()}/{os.cpu_count()}cpu"
 
 
-def test_bench_call_later_dispatch_rate():
-    n = 200_000
+def _call_later_rate(n: int = 200_000) -> float:
+    """Pure-CPU event-dispatch rate (also the session-health sentinel)."""
     sim = Simulator(seed=1)
     counter = [0]
 
@@ -85,9 +87,14 @@ def test_bench_call_later_dispatch_rate():
     started = time.perf_counter()
     sim.run()
     elapsed = time.perf_counter() - started
-    rate = _record("call_later_events_per_sec", n / elapsed)
-    report("call_later dispatch", {"events": n, "seconds": elapsed, "events/sec": rate})
     assert counter[0] == n
+    return n / elapsed
+
+
+def test_bench_call_later_dispatch_rate():
+    n = 200_000
+    rate = _record("call_later_events_per_sec", _call_later_rate(n))
+    report("call_later dispatch", {"events": n, "events/sec": rate})
     assert rate > 50_000
 
 
@@ -152,6 +159,7 @@ def _produce_consume_once(
     fire_and_forget: bool = False,
     partitions: int = 1,
     group_members: int = 1,
+    idempotence: bool = False,
     sim_stats: dict = None,
 ) -> float:
     """One produce->consume run; returns the wall seconds until the last
@@ -178,7 +186,11 @@ def _produce_consume_once(
     cluster.start(settle_time=1.0)
     producer = cluster.create_producer(
         "source",
-        config=ProducerConfig(linger=0.005, buffer_memory=512 * 1024 * 1024),
+        config=ProducerConfig(
+            linger=0.005,
+            buffer_memory=512 * 1024 * 1024,
+            idempotence=idempotence,
+        ),
     )
     consumer_config = ConsumerConfig(
         poll_interval=0.01,
@@ -234,6 +246,7 @@ def _stable_best_seconds(
     fire_and_forget: bool = False,
     partitions: int = 1,
     group_members: int = 1,
+    idempotence: bool = False,
     sim_stats: dict = None,
 ) -> float:
     """Best-of-three stabilized measurement of one produce->consume setup.
@@ -257,6 +270,7 @@ def _stable_best_seconds(
                     fire_and_forget=fire_and_forget,
                     partitions=partitions,
                     group_members=group_members,
+                    idempotence=idempotence,
                     sim_stats=sim_stats,
                 ),
             )
@@ -310,6 +324,44 @@ def test_bench_produce_consume_noreport_throughput():
         },
     )
     assert rate > 5_000
+
+
+def test_bench_produce_consume_idempotent_throughput():
+    """Exactly-once produce path: sequence stamping + broker dedup overhead.
+
+    Same stabilized protocol as the reported-send bench, with
+    ``ProducerConfig(idempotence=True)``: one init_producer_id handshake at
+    start, per-batch identity stamping at drain time, and the leader's
+    dedup-table check per produce.  Records the end-to-end rate
+    (``produce_consume_idempotent_records_per_sec``, regression-gated) and
+    the overhead ratio versus the plain reported-send rate measured just
+    before it — the cost of exactly-once on a clean (fault-free) run.
+    """
+    n_records = 50_000
+    payload = "x" * 100
+    best = _stable_best_seconds(n_records, payload, idempotence=True)
+    rate = _record("produce_consume_idempotent_records_per_sec", n_records / best)
+    reported = _results.get("produce_consume_records_per_sec", 0.0)
+    ratio = reported / rate if rate else 0.0
+    if reported:
+        # Plain rate / idempotent rate: 1.0 = free, higher = costlier.
+        _record("produce_consume_idempotence_overhead_ratio", ratio)
+    report(
+        "produce->consume throughput (idempotent producer)",
+        {
+            "records": n_records,
+            "seconds": best,
+            "records/sec": rate,
+            "overhead_vs_reported": f"{ratio:.3f}x" if reported else "n/a",
+        },
+    )
+    assert rate > 5_000
+    # The ratio itself is reported-but-ungated: it compares two stabilized
+    # wall-clock measurements taken minutes apart, which machine noise alone
+    # can push past any tight budget (same reasoning as the other wall-clock
+    # comparisons in this trajectory).  A genuine dedup-table tax on the
+    # idempotent path is caught by the per-machine 0.8x regression gate on
+    # ``produce_consume_idempotent_records_per_sec`` below.
 
 
 def test_bench_produce_consume_4part_group_throughput():
@@ -549,8 +601,37 @@ def test_bench_persist_trajectory():
 #: exceeds the 20% budget — they stay reported-but-ungated in the trajectory.
 GATED_METRICS = (
     "produce_consume_records_per_sec",
+    "produce_consume_idempotent_records_per_sec",
     "produce_consume_4part_records_per_sec",
 )
+
+#: Simulator-core-only micro-rates used as a *session health* sentinel: no
+#: broker/record-plane change can hide a regression in them, so when they run
+#: well below their own recorded best the whole session is degraded (noisy
+#: neighbour, throttling) and the gate's floor scales down accordingly.
+SESSION_HEALTH_METRICS = (
+    "call_later_events_per_sec",
+    "process_timeout_events_per_sec",
+)
+
+#: Hard lower bound on session health.  Below this, host noise and a uniform
+#: code slowdown are indistinguishable from inside one session — so the
+#: floor never loosens past 0.8 * 0.75 = 0.6x best, and any >=40% regression
+#: fails the gate no matter how sick the sentinels look.
+MIN_SESSION_HEALTH = 0.75
+
+#: Re-measurement hooks for gated metrics: a metric below its floor gets one
+#: fresh stabilized measurement before the run is declared a regression —
+#: transient host contention rarely spans both windows, a real code
+#: regression always does.
+_REMEASURE = {
+    "produce_consume_records_per_sec": lambda: 50_000
+    / _stable_best_seconds(50_000, "x" * 100),
+    "produce_consume_idempotent_records_per_sec": lambda: 50_000
+    / _stable_best_seconds(50_000, "x" * 100, idempotence=True),
+    "produce_consume_4part_records_per_sec": lambda: 50_000
+    / _stable_best_seconds(50_000, "x" * 100, partitions=4, group_members=4),
+}
 
 
 def test_bench_regression_gate():
@@ -561,6 +642,20 @@ def test_bench_regression_gate():
     and never re-loosens.  Bests are per machine fingerprint: the first bench
     run on new hardware establishes that machine's baseline instead of being
     judged against someone else's CPU.
+
+    Two noise controls keep the gate honest on shared/loaded hosts (the
+    bests are captured at quiet moments; a contended session measures every
+    metric 15-30% low across code the diff never touched):
+
+    * the floor scales with *session health* — the best ratio the pure-CPU
+      sentinel micro-rates achieved this session (a record-plane regression
+      cannot hide there, so a low sentinel means a degraded machine, not a
+      regression), refreshed with one cheap sample at gate time and clamped
+      at :data:`MIN_SESSION_HEALTH` so the floor never drops below 0.6x
+      best — a uniform >=40% slowdown still fails even on a host that looks
+      degraded;
+    * a metric still below its scaled floor is re-measured once with the
+      same stabilized protocol before failing the run.
     """
     if not _results:
         pytest.skip("gate needs the earlier benchmarks in the same session")
@@ -570,27 +665,52 @@ def test_bench_regression_gate():
     best = {
         name: machine_best[name] for name in GATED_METRICS if name in machine_best
     }
+    health_ratios = [
+        _results[name] / machine_best[name]
+        for name in SESSION_HEALTH_METRICS
+        if machine_best.get(name) and _results.get(name)
+    ]
+    health = min(1.0, max(health_ratios)) if health_ratios else 1.0
+    if health < 1.0 and machine_best.get("call_later_events_per_sec"):
+        # The sentinels ran at module start; contention may have begun or
+        # ended since.  One fresh sample at gate time keeps health current.
+        health = min(
+            1.0,
+            max(
+                health,
+                _call_later_rate() / machine_best["call_later_events_per_sec"],
+            ),
+        )
+    health = max(health, MIN_SESSION_HEALTH)
+    floor_factor = REGRESSION_FLOOR * health
+    current = {
+        name: _results[name] for name in best if name in _results
+    }
+    for name, value in list(current.items()):
+        if value < best[name] * floor_factor and name in _REMEASURE:
+            current[name] = max(value, _REMEASURE[name]())
     regressions = {
         name: (value, best[name])
-        for name, value in _results.items()
-        if name in best and value < best[name] * REGRESSION_FLOOR
+        for name, value in current.items()
+        if value < best[name] * floor_factor
     }
     report(
-        "regression gate (floor = best * 0.8)",
+        f"regression gate (floor = best * 0.8 * session health {health:.2f})",
         [
             {
                 "metric": name,
-                "current": _results.get(name, 0.0),
+                "current": current.get(name, 0.0),
                 "best": best_value,
-                "floor": round(best_value * REGRESSION_FLOOR, 2),
+                "floor": round(best_value * floor_factor, 2),
             }
             for name, best_value in sorted(best.items())
         ],
     )
     assert not regressions, (
-        "throughput regressed >20% versus the best recorded entry: "
+        f"throughput regressed below 0.8 * best * session-health({health:.2f}) "
+        "even after one re-measurement: "
         + ", ".join(
-            f"{name}: {value:.0f} < 0.8 * {best_value:.0f}"
+            f"{name}: {value:.0f} < {best_value * floor_factor:.0f}"
             for name, (value, best_value) in regressions.items()
         )
     )

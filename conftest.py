@@ -8,6 +8,9 @@ invocations:
   included (the default gate; must stay green).
 * ``PYTHONPATH=src python -m pytest -x -q -m "not bench"`` — quick tier for
   local iteration: unit/integration tests only, a few seconds.
+* ``PYTHONPATH=src python -m pytest -x -q -m "not bench and not chaos"`` —
+  fastest tier: additionally skips the seeded chaos/fault-injection matrix
+  (``tests/test_chaos_exactly_once.py``).
 * ``PYTHONPATH=src python -m pytest benchmarks -q`` — paper figures/tables
   plus the core-speed trajectory (updates ``BENCH_core.json``).
 """
@@ -17,6 +20,10 @@ def pytest_configure(config):
     config.addinivalue_line(
         "markers",
         "bench: slow paper-reproduction benchmark (deselect with -m \"not bench\")",
+    )
+    config.addinivalue_line(
+        "markers",
+        "chaos: seeded chaos/fault-injection matrix (deselect with -m \"not chaos\")",
     )
     config.addinivalue_line(
         "markers",

@@ -72,6 +72,7 @@ def create_task(
     link_latency_ms: float = 5.0,
     batch_interval: float = 0.5,
     partitions: int = 1,
+    idempotence: bool = False,
 ) -> TaskDescription:
     """Build the fraud-detection task description (5 components).
 
@@ -83,6 +84,7 @@ def create_task(
         "h1",
         prodType="SFST",
         prodCfg={
+            "idempotence": idempotence,
             "topicName": TRANSACTIONS_TOPIC,
             "filePath": "transactions",
             "totalMessages": n_transactions,

@@ -60,6 +60,7 @@ def create_task(
     window_seconds: float = 20.0,
     watched_ports: Optional[List[str]] = None,
     partitions: int = 1,
+    idempotence: bool = False,
 ) -> TaskDescription:
     """Build the maritime-monitoring task description (4 components)."""
     watched = watched_ports or ["halifax", "boston"]
@@ -68,6 +69,7 @@ def create_task(
         "h1",
         prodType="SFST",
         prodCfg={
+            "idempotence": idempotence,
             "topicName": AIS_TOPIC,
             "filePath": "ais",
             "totalMessages": n_messages,

@@ -74,6 +74,7 @@ def create_task(
     batch_interval: float = 0.5,
     window_seconds: float = 30.0,
     partitions: int = 1,
+    idempotence: bool = False,
 ) -> TaskDescription:
     """Build the ride-selection task description (5 components)."""
     task = TaskDescription(name="ride-selection")
@@ -81,6 +82,7 @@ def create_task(
         "h1",
         prodType="SFST",
         prodCfg={
+            "idempotence": idempotence,
             "topicName": RIDES_TOPIC,
             "filePath": "ride-info",
             "totalMessages": n_rides,
@@ -91,6 +93,7 @@ def create_task(
         "h2",
         prodType="SFST",
         prodCfg={
+            "idempotence": idempotence,
             "topicName": TIPS_TOPIC,
             "filePath": "ride-tips",
             "totalMessages": n_rides,

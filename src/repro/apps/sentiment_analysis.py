@@ -56,6 +56,7 @@ def create_task(
     link_latency_ms: float = 5.0,
     batch_interval: float = 0.5,
     partitions: int = 1,
+    idempotence: bool = False,
 ) -> TaskDescription:
     """Build the sentiment-analysis task description (3 components)."""
     task = TaskDescription(name="sentiment-analysis")
@@ -63,6 +64,7 @@ def create_task(
         "h1",
         prodType="SFST",
         prodCfg={
+            "idempotence": idempotence,
             "topicName": TWEETS_TOPIC,
             "filePath": "tweets",
             "totalMessages": n_tweets,

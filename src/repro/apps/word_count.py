@@ -96,6 +96,7 @@ def create_task(
     files_per_second: float = 10.0,
     batch_interval: float = 0.5,
     partitions: int = 1,
+    idempotence: bool = False,
 ) -> TaskDescription:
     """Build the Figure 2 word-count task description.
 
@@ -111,6 +112,7 @@ def create_task(
         HOSTS["source"],
         prodType="DIRECTORY",
         prodCfg={
+            "idempotence": idempotence,
             "topicName": RAW_TOPIC,
             "filePath": "documents",
             "totalMessages": n_documents,

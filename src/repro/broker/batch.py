@@ -19,6 +19,22 @@ append, fetch encode, consumer decode.  Sizing is O(1) too: ``total_size``
 is maintained incrementally in the header, so neither the transport nor the
 broker ever re-sums (let alone re-estimates) per-record sizes.
 
+Producer identity (idempotence)
+-------------------------------
+Mirroring KIP-98, a produce batch may carry a producer identity in its
+header: ``producer_id`` (coordinator-allocated), ``producer_epoch`` (bumped
+on re-initialization, fencing zombie instances) and ``base_sequence`` (the
+per-partition sequence number of the batch's first record; record ``i``
+implicitly holds ``base_sequence + i``).  All three default to -1 — "no
+producer identity" — and partition leaders use them to drop duplicate
+retries (see ``docs/exactly_once.md``).  Batches read back *out of a log*
+instead carry per-record ``producer_ids``/``sequences`` columns (a log range
+may interleave many producers), which is how replica fetches hand the dedup
+state down to followers.  Kafka's v2 batch header already reserves these
+fields inside its 61 bytes, so :data:`BATCH_HEADER_OVERHEAD` is unchanged
+and non-idempotent wire traffic is byte-identical to the pre-idempotence
+format.
+
 Size accounting rules
 ---------------------
 * ``total_size`` is the sum of the per-record payload sizes (the same
@@ -54,12 +70,18 @@ class RecordBatch:
         "partition",
         "base_offset",
         "leader_epoch",
+        "producer_id",
+        "producer_epoch",
+        "base_sequence",
         "keys",
         "values",
         "sizes",
         "produced_ats",
         "timestamps",
         "leader_epochs",
+        "producer_ids",
+        "producer_epochs",
+        "sequences",
         "headers",
         "total_size",
     )
@@ -70,6 +92,9 @@ class RecordBatch:
         partition: int = 0,
         base_offset: int = -1,
         leader_epoch: int = -1,
+        producer_id: int = -1,
+        producer_epoch: int = -1,
+        base_sequence: int = -1,
     ) -> None:
         self.topic = topic
         self.partition = partition
@@ -77,6 +102,13 @@ class RecordBatch:
         self.base_offset = base_offset
         #: Epoch the whole batch was appended under (-1 = unassigned/mixed).
         self.leader_epoch = leader_epoch
+        #: Producer identity of the whole batch (-1 = non-idempotent send).
+        self.producer_id = producer_id
+        self.producer_epoch = producer_epoch
+        #: Per-partition sequence of the first record; record ``i`` holds
+        #: ``base_sequence + i``.  Fixed at drain time and reused verbatim
+        #: across retries — which is exactly what makes retries dedupable.
+        self.base_sequence = base_sequence
         self.keys: List[Any] = []
         self.values: List[Any] = []
         self.sizes: List[int] = []
@@ -86,6 +118,12 @@ class RecordBatch:
         #: Per-record leader epochs (replica-fetch batches only; a batch read
         #: from a log may span an epoch boundary).
         self.leader_epochs: Optional[List[int]] = None
+        #: Per-record producer ids / sequences (log-read batches only; a log
+        #: range may interleave batches from many producers).  ``None`` when
+        #: no record in the range carried a producer identity.
+        self.producer_ids: Optional[List[int]] = None
+        self.producer_epochs: Optional[List[int]] = None
+        self.sequences: Optional[List[int]] = None
         #: Per-record header dicts, or None when every record's headers are
         #: empty (the overwhelmingly common case — no allocation then).
         self.headers: Optional[List[Optional[Dict[str, Any]]]] = None
@@ -129,6 +167,9 @@ class RecordBatch:
         headers: Optional[List[Optional[Dict[str, Any]]]] = None,
         total_size: Optional[int] = None,
         leader_epoch: int = -1,
+        producer_ids: Optional[List[int]] = None,
+        producer_epochs: Optional[List[int]] = None,
+        sequences: Optional[List[int]] = None,
     ) -> "RecordBatch":
         """Build a batch directly from columns (log reads, workload synthesis)."""
         batch = cls(topic, partition, base_offset=base_offset, leader_epoch=leader_epoch)
@@ -138,6 +179,9 @@ class RecordBatch:
         batch.produced_ats = produced_ats
         batch.timestamps = timestamps
         batch.leader_epochs = leader_epochs
+        batch.producer_ids = producer_ids
+        batch.producer_epochs = producer_epochs
+        batch.sequences = sequences
         batch.headers = headers
         batch.total_size = sum(sizes) if total_size is None else total_size
         return batch
@@ -196,7 +240,7 @@ class RecordBatch:
         """A new batch without the first ``skip`` records (replica overlap trim)."""
         if skip <= 0:
             return self
-        return RecordBatch.from_columns(
+        trimmed = RecordBatch.from_columns(
             self.topic,
             self.partition,
             base_offset=self.base_offset + skip,
@@ -208,9 +252,21 @@ class RecordBatch:
             leader_epochs=(
                 self.leader_epochs[skip:] if self.leader_epochs is not None else None
             ),
+            producer_ids=(
+                self.producer_ids[skip:] if self.producer_ids is not None else None
+            ),
+            producer_epochs=(
+                self.producer_epochs[skip:] if self.producer_epochs is not None else None
+            ),
+            sequences=self.sequences[skip:] if self.sequences is not None else None,
             headers=self.headers[skip:] if self.headers is not None else None,
             leader_epoch=self.leader_epoch,
         )
+        trimmed.producer_id = self.producer_id
+        trimmed.producer_epoch = self.producer_epoch
+        if self.base_sequence >= 0:
+            trimmed.base_sequence = self.base_sequence + skip
+        return trimmed
 
     def __repr__(self) -> str:
         return (

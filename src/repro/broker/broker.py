@@ -20,6 +20,32 @@ from repro.network.transport import Request, RequestTimeout, Response, Transport
 BROKER_PORT = 9092
 
 
+def find_coordinator_host(transport: Transport, bootstrap: List[str], timeout: float = 1.0):
+    """Generator: ask bootstrap brokers where the coordinator lives.
+
+    Shared by every group-management and idempotent-producer client.  Returns
+    the coordinator's host name, or ``None`` when no bootstrap broker answered
+    (all timed out) or the first responsive one reported no coordinator —
+    mirroring Kafka clients, which take the first broker's word rather than
+    polling the rest.
+    """
+    for bootstrap_host in bootstrap:
+        try:
+            reply = yield from transport.request(
+                bootstrap_host,
+                BROKER_PORT,
+                {"type": "find_coordinator"},
+                size=32,
+                timeout=timeout,
+            )
+        except RequestTimeout:
+            continue
+        if reply.get("error") is None:
+            return reply["coordinator_host"]
+        return None
+    return None
+
+
 @dataclass
 class BrokerConfig:
     """Tunable broker parameters (a subset of Kafka's ``server.properties``).
@@ -83,6 +109,14 @@ class Broker:
         self.records_appended = 0
         self.records_served = 0
         self.produce_rejections = 0
+        #: Idempotence counters (tests observe dedup hits here): batches and
+        #: records dropped as duplicate retries, and produces rejected
+        #: because a newer producer epoch fenced the sender.
+        self.metrics: Dict[str, int] = {
+            "duplicate_batches": 0,
+            "duplicate_records": 0,
+            "fenced_produces": 0,
+        }
         self.lost_records: List[LogRecord] = []
         self.transport.register(BROKER_PORT, self._handle)
         host.register_component(self)
@@ -237,10 +271,12 @@ class Broker:
     # -- produce path ------------------------------------------------------------------------------
     def _handle_produce(self, payload: dict):
         key = f"{payload['topic']}-{payload.get('partition', 0)}"
-        batch: RecordBatch = payload["batch"]
+        wire_batch: RecordBatch = payload["batch"]
         acks = payload.get("acks", 1)
 
         def produce_process():
+            # Local copy: the partial-duplicate path rebinds it to the tail.
+            batch = wire_batch
             info = self._partition_info(key)
             if info is None:
                 self.produce_rejections += 1
@@ -256,9 +292,85 @@ class Broker:
             if acks == "all" and len(info["isr"]) < self.config.min_insync_replicas:
                 self.produce_rejections += 1
                 return {"error": "not_enough_replicas"}
+            log = self.logs[key]
             cost = self.config.cpu_per_request + self.config.cpu_per_record * len(batch)
             yield from self.host.compute(cost)
-            log = self.logs[key]
+            producer_id = batch.producer_id
+            if producer_id >= 0:
+                # Idempotent produce: fence zombie epochs and drop duplicate
+                # retries.  Checked *after* the compute yield so no other
+                # produce process can interleave between verdict and append —
+                # a concurrent retry parked in compute must observe this
+                # batch's append when its own check finally runs.
+                verdict = log.check_producer_batch(
+                    producer_id,
+                    batch.producer_epoch,
+                    batch.base_sequence,
+                    count=len(batch),
+                )
+                if verdict == "fenced":
+                    self.produce_rejections += 1
+                    self.metrics["fenced_produces"] += 1
+                    entry = log.producer_entry(producer_id)
+                    return {
+                        "error": "producer_fenced",
+                        "producer_epoch": entry.epoch if entry else -1,
+                    }
+                if verdict == "duplicate":
+                    # The records are already durable here — acknowledge
+                    # positively, but distinguishably: a DuplicateSequence
+                    # ack, with the original offsets when the retry matches
+                    # the last appended batch.
+                    self.metrics["duplicate_batches"] += 1
+                    self.metrics["duplicate_records"] += len(batch)
+                    entry = log.producer_entry(producer_id)
+                    base_offset = -1
+                    if (
+                        entry.last_count == len(batch)
+                        and entry.last_sequence == batch.base_sequence + len(batch) - 1
+                    ):
+                        base_offset = entry.last_base_offset
+                    if acks == "all":
+                        # The original append may still be replicating; a
+                        # duplicate ack must honor the same durability bar.
+                        # The entry's last batch always covers this batch's
+                        # final record, so its end bounds the wait without
+                        # dragging in unrelated later appends.
+                        target = (
+                            base_offset + len(batch)
+                            if base_offset >= 0
+                            else entry.last_base_offset + entry.last_count
+                        )
+                        replicated = yield from self._await_high_watermark(log, target)
+                        if not replicated:
+                            return {"error": "not_enough_replicas"}
+                    return Response(
+                        payload={
+                            "error": None,
+                            "duplicate": True,
+                            "base_offset": base_offset,
+                            "log_end_offset": log.log_end_offset,
+                        },
+                        size=64,
+                    )
+                if verdict == "partial":
+                    # This replica holds only a *prefix* of the batch (a
+                    # replica fetch sliced mid-batch right before this
+                    # broker took leadership).  The prefix is a duplicate,
+                    # but the tail was never appended anywhere: trim and
+                    # fall through to append exactly the lost records — a
+                    # whole-batch duplicate ack here would acknowledge
+                    # records that no log holds.
+                    entry = log.producer_entry(producer_id)
+                    skip = entry.last_sequence - batch.base_sequence + 1
+                    self.metrics["duplicate_batches"] += 1
+                    self.metrics["duplicate_records"] += skip
+                    batch = batch.tail(skip)
+                    partial_prefix = True
+                else:
+                    partial_prefix = False
+            else:
+                partial_prefix = False
             epoch = self._local_epochs.get(key, info["leader_epoch"])
             # One append per batch: offsets assigned from the header, size
             # accounted once from ``batch.total_size`` inside the log.
@@ -266,18 +378,39 @@ class Broker:
             self.records_appended += len(batch)
             self._maybe_advance_high_watermark(key)
             if acks == "all":
-                last_offset = log.log_end_offset
-                deadline = self.sim.now + 30.0
-                while log.high_watermark < last_offset and self.sim.now < deadline:
-                    yield self.sim.timeout(0.01)
-                if log.high_watermark < last_offset:
+                replicated = yield from self._await_high_watermark(log, log.log_end_offset)
+                if not replicated:
                     return {"error": "not_enough_replicas"}
+            if partial_prefix:
+                # The ack covers prefix records whose original offsets this
+                # leader cannot echo: a duplicate-style ack (positions not
+                # re-derived) rather than a fake contiguous base offset.
+                return Response(
+                    payload={
+                        "error": None,
+                        "duplicate": True,
+                        "base_offset": -1,
+                        "log_end_offset": log.log_end_offset,
+                    },
+                    size=64,
+                )
             return Response(
                 payload={"error": None, "base_offset": base_offset, "log_end_offset": log.log_end_offset},
                 size=64,
             )
 
         return produce_process()
+
+    def _await_high_watermark(self, log: PartitionLog, target: int):
+        """acks=all durability bar: wait until the HW covers ``target``.
+
+        Returns True once replicated, False if the 30 s bar expires first
+        (the caller answers ``not_enough_replicas`` and the producer retries).
+        """
+        deadline = self.sim.now + 30.0
+        while log.high_watermark < target and self.sim.now < deadline:
+            yield self.sim.timeout(0.01)
+        return log.high_watermark >= target
 
     def _maybe_advance_high_watermark(self, key: str) -> None:
         """Leader-side: HW = min(LEO, slowest in-sync follower's fetched offset)."""

@@ -178,6 +178,12 @@ class BrokerCluster:
         """Records that were acknowledged to producers but truncated away."""
         return sum(len(broker.lost_records) for broker in self.brokers.values())
 
+    def total_duplicates_dropped(self) -> int:
+        """Duplicate records dropped by broker-side idempotence dedup."""
+        return sum(
+            broker.metrics["duplicate_records"] for broker in self.brokers.values()
+        )
+
     def describe(self) -> dict:
         return {
             "mode": self.config.mode.value,

@@ -30,7 +30,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.broker.batch import RecordBatch
-from repro.broker.broker import BROKER_PORT
+from repro.broker.broker import BROKER_PORT, find_coordinator_host
 from repro.broker.coordinator import COORDINATOR_PORT, GROUP_ASSIGNORS
 from repro.network.host import Host
 from repro.network.transport import RequestTimeout, Transport
@@ -271,21 +271,9 @@ class Consumer:
                 yield from self._group_heartbeat()
 
     def _find_coordinator(self):
-        for bootstrap_host in self.bootstrap:
-            try:
-                reply = yield from self.transport.request(
-                    bootstrap_host,
-                    BROKER_PORT,
-                    {"type": "find_coordinator"},
-                    size=32,
-                    timeout=1.0,
-                )
-            except RequestTimeout:
-                continue
-            if reply.get("error") is None:
-                self._coordinator_host = reply["coordinator_host"]
-            return
-        return
+        self._coordinator_host = yield from find_coordinator_host(
+            self.transport, self.bootstrap
+        )
 
     def _join_group(self):
         try:

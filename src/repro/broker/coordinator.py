@@ -179,6 +179,12 @@ class Coordinator:
         self.partitions: Dict[str, PartitionState] = {}
         self.topics: Dict[str, TopicConfig] = {}
         self.groups: Dict[str, GroupState] = {}
+        #: Idempotent-producer registry: producer name -> [producer_id,
+        #: epoch].  Re-initializing an existing name bumps the epoch, which
+        #: fences the previous instance (Kafka's transactional.id semantics
+        #: applied to the idempotence subset).
+        self.producer_ids: Dict[str, List[int]] = {}
+        self._next_producer_id = 0
         self.metadata_version = 0
         self._snapshot_size_cache: tuple = (None, 0)
         self.elections: List[ElectionRecord] = []
@@ -220,6 +226,8 @@ class Coordinator:
             return self._handle_create_topic(payload)
         if request_type == "isr_update":
             return self._handle_isr_update(payload)
+        if request_type == "init_producer_id":
+            return self._handle_init_producer_id(payload)
         if request_type == "join_group":
             return self._handle_join_group(payload)
         if request_type == "sync_group":
@@ -270,6 +278,37 @@ class Coordinator:
             self._log("isr-changed", partition=key, isr=list(new_isr))
             self._bump()
         return {"version": self.metadata_version}
+
+    # -- idempotent producers ----------------------------------------------------------
+    def _handle_init_producer_id(self, payload: dict) -> dict:
+        """Allocate (or re-initialize) a ``(producer_id, epoch)`` pair.
+
+        Producer ids are allocated sequentially (deterministic per run); a
+        repeat init under the same name keeps the id but bumps the epoch, so
+        partition leaders fence the superseded instance's in-flight retries.
+        """
+        name = payload.get("name")
+        if not name:
+            return {"error": "missing producer name"}
+        entry = self.producer_ids.get(name)
+        if entry is None:
+            entry = self.producer_ids[name] = [self._next_producer_id, 0]
+            self._next_producer_id += 1
+            self._log(
+                "producer-id-allocated",
+                name=name,
+                producer_id=entry[0],
+                producer_epoch=0,
+            )
+        else:
+            entry[1] += 1
+            self._log(
+                "producer-epoch-bumped",
+                name=name,
+                producer_id=entry[0],
+                producer_epoch=entry[1],
+            )
+        return {"error": None, "producer_id": entry[0], "producer_epoch": entry[1]}
 
     # -- consumer groups ---------------------------------------------------------------
     def _handle_join_group(self, payload: dict) -> dict:

@@ -31,6 +31,17 @@ class BrokerUnavailableError(BrokerError):
     """The broker process is stopped (crashed host or shut down)."""
 
 
+class ProducerFencedError(BrokerError):
+    """An idempotent produce carried a producer epoch older than the current
+    one: a newer instance re-initialized the producer id, fencing this zombie
+    (Kafka's ``PRODUCER_FENCED``).
+
+    Note there is deliberately no exception for *duplicate* sequences: a
+    duplicate retry is not a failure — the broker acknowledges it positively
+    with ``duplicate: True`` in the reply, and clients surface it via
+    ``DeliveryReport.duplicate`` / ``Producer.duplicate_acks``."""
+
+
 class BufferExhaustedError(Exception):
     """Producer-side: the configured ``buffer.memory`` is full and
     ``max.block.ms`` elapsed before space became available."""
@@ -47,6 +58,7 @@ ERROR_CODES = {
     "not_enough_replicas": NotEnoughReplicasError,
     "stale_epoch": StaleEpochError,
     "unavailable": BrokerUnavailableError,
+    "producer_fenced": ProducerFencedError,
 }
 
 

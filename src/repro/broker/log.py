@@ -7,6 +7,12 @@ replica set; only records below it are visible to consumers).  Leader
 failover and follower rejoin are implemented with epoch bookkeeping and
 truncation, which is where the ZooKeeper-mode silent message loss comes from.
 
+Each replica also keeps a per-producer dedup table (:class:`ProducerEntry`,
+``producer_state``): the last sequence number appended per producer id, fed
+by the producer-identity columns that every append carries and that replica
+fetches hand down to followers — so the exactly-once produce guarantee
+survives leader elections (see ``docs/exactly_once.md``).
+
 Storage is columnar: parallel arrays of keys/values/sizes/timestamps rather
 than one record object per entry.  The hot paths — :meth:`append_batch` on
 produce, :meth:`read_batch` on fetch — move whole :class:`RecordBatch`
@@ -36,6 +42,40 @@ class LogRecord:
     produced_at: float
     leader_epoch: int
     headers: Dict[str, Any] = field(default_factory=dict)
+    #: Producer identity the record was appended under (-1 = non-idempotent).
+    producer_id: int = -1
+    producer_epoch: int = -1
+    sequence: int = -1
+
+
+class ProducerEntry:
+    """Per-producer dedup state of one partition replica.
+
+    Mirrors Kafka's producer state snapshot: the producer's current epoch,
+    the sequence number of its last appended record, and the base offset /
+    record count of its most recent batch (so a duplicate retry can be
+    acknowledged with the *original* offsets).
+    """
+
+    __slots__ = ("epoch", "last_sequence", "last_base_offset", "last_count")
+
+    def __init__(
+        self,
+        epoch: int,
+        last_sequence: int,
+        last_base_offset: int = -1,
+        last_count: int = 0,
+    ) -> None:
+        self.epoch = epoch
+        self.last_sequence = last_sequence
+        self.last_base_offset = last_base_offset
+        self.last_count = last_count
+
+    def __repr__(self) -> str:
+        return (
+            f"<ProducerEntry epoch={self.epoch} last_seq={self.last_sequence} "
+            f"last_base_offset={self.last_base_offset}>"
+        )
 
 
 class PartitionLog:
@@ -52,12 +92,27 @@ class PartitionLog:
         self._produced_ats: List[float] = []
         self._epochs: List[int] = []
         self._headers: List[Optional[Dict[str, Any]]] = []
+        #: Per-record producer identity columns (-1 = no producer id).  Kept
+        #: in the log — not in leader-only session state — so a follower's
+        #: replica fetches rebuild the same dedup table and guarantees
+        #: survive leader elections.  Materialized lazily: they stay empty
+        #: (and cost the hot append path nothing) until the first idempotent
+        #: append backfills them — ``_has_producers`` gates every reader.
+        self._producer_ids: List[int] = []
+        self._producer_epochs: List[int] = []
+        self._sequences: List[int] = []
         self._base_offset = 0
         self._size_bytes = 0
         self.high_watermark = 0
         #: (epoch, start_offset) pairs, newest last — Kafka's leader epoch cache.
         self.epoch_boundaries: List[Tuple[int, int]] = []
         self.truncated_records = 0
+        #: producer_id -> :class:`ProducerEntry`, maintained incrementally on
+        #: every append (and rebuilt from the columns after truncation).
+        self.producer_state: Dict[int, ProducerEntry] = {}
+        #: True once any record with a producer id landed here (lets the
+        #: non-idempotent read path skip slicing the producer columns).
+        self._has_producers = False
 
     # -- basic accessors ------------------------------------------------------------
     @property
@@ -75,6 +130,104 @@ class PartitionLog:
     @property
     def size_bytes(self) -> int:
         return self._size_bytes
+
+    # -- producer dedup table ---------------------------------------------------------
+    def check_producer_batch(
+        self,
+        producer_id: int,
+        producer_epoch: int,
+        base_sequence: int,
+        count: int = 1,
+    ) -> str:
+        """Dedup/fencing verdict for an incoming produce batch (pure decision).
+
+        * ``"fenced"`` — the batch carries an epoch older than the producer's
+          current one: a zombie instance superseded by a re-initialization.
+        * ``"duplicate"`` — same epoch, every sequence of the batch at or
+          below the last appended one: a retry of a batch this replica fully
+          holds (batches are immutable across retries, so full overlap means
+          identity).
+        * ``"partial"`` — same epoch, the batch *starts* at or below the last
+          appended sequence but runs past it.  Happens only when this replica
+          holds a prefix of the batch (a replica fetch sliced mid-batch just
+          before a failover): the prefix is a duplicate but the tail was
+          never appended anywhere — the caller must append the tail, never
+          ack the whole batch as a duplicate.
+        * ``"ok"`` — everything else: the next batch, a gap left by an
+          expired batch (sequences are consumed at drain time, so a
+          delivery-timeout failure legitimately skips numbers), or a fresh
+          epoch (which resets the sequence space).
+        """
+        entry = self.producer_state.get(producer_id)
+        if entry is None:
+            return "ok"
+        if producer_epoch < entry.epoch:
+            return "fenced"
+        if producer_epoch == entry.epoch and base_sequence <= entry.last_sequence:
+            if base_sequence + count - 1 <= entry.last_sequence:
+                return "duplicate"
+            return "partial"
+        return "ok"
+
+    def producer_entry(self, producer_id: int) -> Optional[ProducerEntry]:
+        return self.producer_state.get(producer_id)
+
+    def _ensure_producer_columns(self, backfill: int) -> None:
+        """First idempotent append: backfill the identity columns with -1 for
+        the ``backfill`` records already in the log, then keep them in
+        lockstep with every later append."""
+        if self._has_producers:
+            return
+        self._producer_ids = [-1] * backfill
+        self._producer_epochs = [-1] * backfill
+        self._sequences = [-1] * backfill
+        self._has_producers = True
+
+    def _note_producer_batch(
+        self, producer_id: int, producer_epoch: int, base_sequence: int,
+        count: int, base_offset: int,
+    ) -> None:
+        entry = self.producer_state.get(producer_id)
+        last_sequence = base_sequence + count - 1
+        if entry is None:
+            self.producer_state[producer_id] = ProducerEntry(
+                producer_epoch, last_sequence, base_offset, count
+            )
+            return
+        entry.epoch = producer_epoch
+        entry.last_sequence = last_sequence
+        entry.last_base_offset = base_offset
+        entry.last_count = count
+
+    def _rebuild_producer_state(self) -> None:
+        """Recompute the dedup table from the columns (post-truncation path).
+
+        Appends are per-producer in-order, so the last occurrence of each
+        producer id in the remaining columns is its current state; batch
+        base offsets/counts are not recoverable per batch and collapse to
+        the record itself (good enough for duplicate *detection*; the cached
+        ack offsets only matter on the live leader, whose state was never
+        rebuilt this way mid-flight).
+        """
+        state: Dict[int, ProducerEntry] = {}
+        producer_ids = self._producer_ids
+        producer_epochs = self._producer_epochs
+        sequences = self._sequences
+        base = self._base_offset
+        for index, producer_id in enumerate(producer_ids):
+            if producer_id < 0:
+                continue
+            entry = state.get(producer_id)
+            if entry is None:
+                state[producer_id] = ProducerEntry(
+                    producer_epochs[index], sequences[index], base + index, 1
+                )
+            else:
+                entry.epoch = producer_epochs[index]
+                entry.last_sequence = sequences[index]
+                entry.last_base_offset = base + index
+                entry.last_count = 1
+        self.producer_state = state
 
     # -- writes -----------------------------------------------------------------------
     def _note_epoch(self, leader_epoch: int, start_offset: int) -> None:
@@ -106,6 +259,10 @@ class PartitionLog:
         self._produced_ats.append(produced_at)
         self._epochs.append(leader_epoch)
         self._headers.append(dict(headers) if headers else None)
+        if self._has_producers:
+            self._producer_ids.append(-1)
+            self._producer_epochs.append(-1)
+            self._sequences.append(-1)
         self._size_bytes += size
         return self._record_view(offset - self._base_offset)
 
@@ -132,6 +289,22 @@ class PartitionLog:
             self._headers.extend(batch.headers)
         else:
             self._headers.extend([None] * count)
+        producer_id = batch.producer_id
+        if producer_id >= 0:
+            # The payload columns were already extended: backfill everything
+            # before this batch, then add the batch's identity.
+            self._ensure_producer_columns(len(self._values) - count)
+            base_sequence = batch.base_sequence
+            self._producer_ids.extend([producer_id] * count)
+            self._producer_epochs.extend([batch.producer_epoch] * count)
+            self._sequences.extend(range(base_sequence, base_sequence + count))
+            self._note_producer_batch(
+                producer_id, batch.producer_epoch, base_sequence, count, base_offset
+            )
+        elif self._has_producers:
+            self._producer_ids.extend([-1] * count)
+            self._producer_epochs.extend([-1] * count)
+            self._sequences.extend([-1] * count)
         self._size_bytes += batch.total_size
         return base_offset
 
@@ -176,6 +349,50 @@ class PartitionLog:
             self._headers.extend(batch.headers)
         else:
             self._headers.extend([None] * count)
+        if batch.producer_ids is not None:
+            # Replicated producer identities: extend the columns and fold
+            # them into the follower's dedup table, so the table survives a
+            # promotion of this replica to leader.
+            self._ensure_producer_columns(len(self._values) - count)
+            producer_ids = batch.producer_ids
+            producer_epochs = batch.producer_epochs
+            sequences = batch.sequences
+            self._producer_ids.extend(producer_ids)
+            self._producer_epochs.extend(producer_epochs)
+            self._sequences.extend(sequences)
+            base_offset = batch.base_offset
+            # Fold contiguous same-producer runs as single batches, so a
+            # promoted follower's ProducerEntry carries a real batch extent
+            # (last_base_offset/last_count) — what lets it echo original
+            # offsets and bound the acks=all wait on a duplicate retry.
+            index = 0
+            total = len(producer_ids)
+            while index < total:
+                producer_id = producer_ids[index]
+                if producer_id < 0:
+                    index += 1
+                    continue
+                start = index
+                epoch = producer_epochs[index]
+                while (
+                    index + 1 < total
+                    and producer_ids[index + 1] == producer_id
+                    and producer_epochs[index + 1] == epoch
+                    and sequences[index + 1] == sequences[index] + 1
+                ):
+                    index += 1
+                self._note_producer_batch(
+                    producer_id,
+                    epoch,
+                    sequences[start],
+                    index - start + 1,
+                    base_offset + start,
+                )
+                index += 1
+        elif self._has_producers:
+            self._producer_ids.extend([-1] * count)
+            self._producer_epochs.extend([-1] * count)
+            self._sequences.extend([-1] * count)
         self._size_bytes += batch.total_size
         return count
 
@@ -195,6 +412,19 @@ class PartitionLog:
         self._produced_ats.append(record.produced_at)
         self._epochs.append(record.leader_epoch)
         self._headers.append(dict(record.headers) if record.headers else None)
+        if record.producer_id >= 0:
+            self._ensure_producer_columns(len(self._values) - 1)
+            self._note_producer_batch(
+                record.producer_id,
+                record.producer_epoch,
+                record.sequence,
+                1,
+                record.offset,
+            )
+        if self._has_producers:
+            self._producer_ids.append(record.producer_id)
+            self._producer_epochs.append(record.producer_epoch)
+            self._sequences.append(record.sequence)
         self._size_bytes += record.size
 
     # -- reads -------------------------------------------------------------------------
@@ -230,6 +460,15 @@ class PartitionLog:
         if start >= end:
             return EMPTY_BATCH
         headers = self._headers[start:end]
+        # Producer identities travel only on replica fetches (with_epochs) —
+        # consumer fetches never need the dedup columns — and, like headers,
+        # only when the *range* actually holds one (None otherwise, so
+        # all-plain ranges ship no identity columns at all).
+        producer_ids = None
+        if with_epochs and self._has_producers:
+            producer_ids = self._producer_ids[start:end]
+            if not any(pid >= 0 for pid in producer_ids):
+                producer_ids = None
         return RecordBatch.from_columns(
             self.topic,
             self.partition,
@@ -240,6 +479,15 @@ class PartitionLog:
             produced_ats=self._produced_ats[start:end],
             timestamps=self._timestamps[start:end],
             leader_epochs=self._epochs[start:end] if with_epochs else None,
+            producer_ids=producer_ids,
+            producer_epochs=(
+                self._producer_epochs[start:end]
+                if producer_ids is not None
+                else None
+            ),
+            sequences=(
+                self._sequences[start:end] if producer_ids is not None else None
+            ),
             headers=headers if any(headers) else None,
         )
 
@@ -277,6 +525,7 @@ class PartitionLog:
         return [self._record_view(index) for index in range(len(self._values))]
 
     def _record_view(self, index: int) -> LogRecord:
+        has_producers = self._has_producers
         return LogRecord(
             offset=self._base_offset + index,
             key=self._keys[index],
@@ -286,6 +535,9 @@ class PartitionLog:
             produced_at=self._produced_ats[index],
             leader_epoch=self._epochs[index],
             headers=self._headers[index] or {},
+            producer_id=self._producer_ids[index] if has_producers else -1,
+            producer_epoch=self._producer_epochs[index] if has_producers else -1,
+            sequence=self._sequences[index] if has_producers else -1,
         )
 
     # -- watermark / truncation ------------------------------------------------------------
@@ -317,6 +569,10 @@ class PartitionLog:
         del self._produced_ats[keep:]
         del self._epochs[keep:]
         del self._headers[keep:]
+        if self._has_producers:
+            del self._producer_ids[keep:]
+            del self._producer_epochs[keep:]
+            del self._sequences[keep:]
         self._size_bytes -= sum(self._sizes[keep:])
         del self._sizes[keep:]
         self.truncated_records += len(discarded)
@@ -325,6 +581,11 @@ class PartitionLog:
             (epoch, start) for epoch, start in self.epoch_boundaries
             if start < self.log_end_offset
         ]
+        if self._has_producers:
+            # Truncation may have discarded a producer's latest batches; the
+            # dedup table must roll back with the log (cold path — faults
+            # only).
+            self._rebuild_producer_state()
         return discarded
 
     def epoch_start_offset(self, epoch: int) -> Optional[int]:

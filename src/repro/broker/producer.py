@@ -25,7 +25,8 @@ from dataclasses import dataclass
 from typing import Any, Deque, Dict, List, Optional
 
 from repro.broker.batch import RecordBatch
-from repro.broker.broker import BROKER_PORT
+from repro.broker.broker import BROKER_PORT, find_coordinator_host
+from repro.broker.coordinator import COORDINATOR_PORT
 from repro.broker.errors import DeliveryFailed
 from repro.broker.message import ProducerRecord, RecordMetadata
 from repro.network.host import Host
@@ -46,6 +47,15 @@ class ProducerConfig:
       and one broker CPU charge cover many records under heavy traffic.
     * ``linger`` — how long an under-filled batch may wait for more records
       before the sender flushes it anyway.
+
+    ``idempotence`` turns on the exactly-once produce path: the producer
+    initializes a coordinator-allocated ``(producer_id, epoch)`` pair before
+    sending, stamps every batch with per-partition sequence numbers, and
+    partition leaders drop duplicate retries (acknowledged distinguishably —
+    see ``docs/exactly_once.md``).  Orthogonal to ``acks``: dedup closes the
+    retry-duplication window whatever the ack level, while *acked implies
+    durable* additionally needs ``acks="all"`` (plus KRaft mode under
+    partitions), exactly as without idempotence.
     """
 
     buffer_memory: int = 32 * 1024 * 1024
@@ -58,6 +68,7 @@ class ProducerConfig:
     acks: Any = 1
     metadata_refresh_interval: float = 5.0
     max_batch_records: int = 500
+    idempotence: bool = False
 
     def __post_init__(self) -> None:
         if self.buffer_memory <= 0:
@@ -106,7 +117,16 @@ class PendingRecord:
 class DeliveryReport:
     """Final outcome of one record (kept for experiment post-processing)."""
 
-    __slots__ = ("sequence", "topic", "key", "enqueued_at", "acknowledged_at", "failed_at", "offset")
+    __slots__ = (
+        "sequence",
+        "topic",
+        "key",
+        "enqueued_at",
+        "acknowledged_at",
+        "failed_at",
+        "offset",
+        "duplicate",
+    )
 
     def __init__(self, sequence: int, topic: str, key: Any, enqueued_at: float) -> None:
         self.sequence = sequence
@@ -116,6 +136,10 @@ class DeliveryReport:
         self.acknowledged_at: Optional[float] = None
         self.failed_at: Optional[float] = None
         self.offset: Optional[int] = None
+        #: True when the acknowledgement was a broker-side dedup hit (the
+        #: record was already durable from an earlier attempt whose ack was
+        #: lost) — a DuplicateSequence ack, not a silent success.
+        self.duplicate = False
 
     @property
     def acknowledged(self) -> bool:
@@ -159,6 +183,13 @@ class Producer:
         self.records_sent = 0
         self.records_acked = 0
         self.records_failed = 0
+        #: Idempotence state: the coordinator-allocated identity (-1 until
+        #: initialized), per-partition sequence counters consumed at drain
+        #: time, and a counter of DuplicateSequence acks observed.
+        self.producer_id = -1
+        self.producer_epoch = -1
+        self._next_sequences: Dict[str, int] = {}
+        self.duplicate_acks = 0
         #: One report per send, appended in sequence order — ``reports[seq]``
         #: is the report for sequence ``seq`` (no side dict needed).
         self.reports: List[DeliveryReport] = []
@@ -313,6 +344,10 @@ class Producer:
         """Drain and transmit one partition's batch if one is ready."""
         if not self.running or key in self._in_flight:
             return
+        if self.config.idempotence and self.producer_id < 0:
+            # Sequences are only meaningful under an allocated identity; the
+            # sender loop flushes everything once the init handshake lands.
+            return
         batch, wire_batch = self._drain_batch(key)
         if not batch:
             return
@@ -344,6 +379,8 @@ class Producer:
 
     # -- sender machinery -----------------------------------------------------------------
     def _sender_loop(self):
+        if self.config.idempotence:
+            yield from self._init_producer_id()
         yield from self._refresh_metadata()
         last_metadata_refresh = self.sim.now
         while self.running:
@@ -369,6 +406,34 @@ class Producer:
             # batch; under-filled remainders wait for the linger tick.
             self._maybe_schedule_flush(key)
 
+    def _expire_accumulated_records(self) -> None:
+        """Fail accumulator records whose ``delivery_timeout`` passed.
+
+        The sender loop normally enforces the deadline inside ``_send_batch``
+        after a drain; while flushing is gated (idempotence init still
+        pending) nothing drains, so the deadline is enforced directly on the
+        queued records instead of letting their futures hang forever.
+        """
+        now = self.sim.now
+        for key, queue in self._accumulator.items():
+            expired = self._overdue(queue, now)
+            if not expired:
+                continue
+            for pending in expired:
+                queue.remove(pending)
+            freed = sum(pending.record.size for pending in expired)
+            self._queued_bytes[key] = self._queued_bytes.get(key, 0) - freed
+            self._fail_batch(expired, reason="delivery timeout")
+
+    def _overdue(self, records, now: float) -> List[PendingRecord]:
+        """The single ``delivery_timeout`` deadline rule, shared by every
+        expiry site (accumulator queues and the waiting line)."""
+        deadline_margin = self.config.delivery_timeout
+        return [
+            pending for pending in records
+            if now >= pending.enqueued_at + deadline_margin
+        ]
+
     def _admit_waiting_records(self) -> None:
         """Move waiting records into the accumulator as space/metadata allow.
 
@@ -380,11 +445,7 @@ class Producer:
         if not self._waiting_for_buffer:
             return
         now = self.sim.now
-        expired = [
-            pending
-            for pending in self._waiting_for_buffer
-            if now >= pending.enqueued_at + self.config.delivery_timeout
-        ]
+        expired = self._overdue(self._waiting_for_buffer, now)
         if expired:
             for pending in expired:
                 self._waiting_for_buffer.remove(pending)
@@ -436,6 +497,16 @@ class Producer:
             )
         if size:
             self._queued_bytes[key] = self._queued_bytes.get(key, 0) - size
+        if batch and self.config.idempotence:
+            # Stamp the producer identity once per drained batch.  The wire
+            # batch is reused verbatim across retries, so its base_sequence
+            # never moves — which is exactly what lets the leader recognize
+            # a retry as a duplicate.
+            wire_batch.producer_id = self.producer_id
+            wire_batch.producer_epoch = self.producer_epoch
+            base_sequence = self._next_sequences.get(key, 0)
+            wire_batch.base_sequence = base_sequence
+            self._next_sequences[key] = base_sequence + len(batch)
         return batch, wire_batch
 
     def _send_batch(self, key: str, batch: List[PendingRecord], wire_batch: RecordBatch):
@@ -474,7 +545,21 @@ class Producer:
                 continue
             error = reply.get("error")
             if error is None:
-                self._ack_batch(batch, reply.get("base_offset", 0), topic, partition)
+                duplicate = bool(reply.get("duplicate"))
+                if duplicate:
+                    self.duplicate_acks += 1
+                self._ack_batch(
+                    batch,
+                    reply.get("base_offset", 0),
+                    topic,
+                    partition,
+                    duplicate=duplicate,
+                )
+                return
+            if error == "producer_fenced":
+                # A newer instance re-initialized our producer id: fatal for
+                # this zombie — retrying can never succeed.
+                self._fail_batch(batch, reason="producer_fenced")
                 return
             if error == "not_leader":
                 attempts += 1
@@ -490,19 +575,29 @@ class Producer:
             return
 
     def _ack_batch(
-        self, batch: List[PendingRecord], base_offset: int, topic: str, partition: int
+        self,
+        batch: List[PendingRecord],
+        base_offset: int,
+        topic: str,
+        partition: int,
+        duplicate: bool = False,
     ) -> None:
         now = self.sim.now
         reports = self.reports
         freed = 0
         for index, pending in enumerate(batch):
-            offset = base_offset + index
+            # A duplicate ack for a stale retry may not know the original
+            # offsets (base_offset -1): the records are durable, their
+            # positions just aren't echoed back — report and metadata both
+            # carry None then, never a fake position.
+            offset = base_offset + index if base_offset >= 0 else None
             freed += pending.record.size
             if pending.sequence < 0:  # fire-and-forget: no report, no future
                 continue
             report = reports[pending.sequence]
             report.acknowledged_at = now
             report.offset = offset
+            report.duplicate = duplicate
             if not pending.future.triggered:
                 pending.future.succeed(
                     RecordMetadata(topic, partition, offset, now, pending.enqueued_at)
@@ -525,6 +620,43 @@ class Producer:
                 failure = pending.future
                 failure._defused = True  # experiment code may ignore the future
                 failure.fail(DeliveryFailed(reason))
+
+    # -- idempotence handshake --------------------------------------------------------------
+    def _init_producer_id(self):
+        """Obtain a ``(producer_id, epoch)`` from the coordinator (blocking).
+
+        Runs once at sender start: nothing is flushed until the identity is
+        allocated, because batches without sequence numbers could never be
+        deduplicated.  Retries forever — like metadata bootstrap, a producer
+        on a partitioned host simply keeps trying until the cluster answers —
+        but queued records still honor ``delivery_timeout`` while it waits
+        (no flush path runs yet, so expiry must happen here).
+        """
+        while self.running and self.producer_id < 0:
+            self._expire_accumulated_records()
+            self._admit_waiting_records()
+            coordinator_host = yield from find_coordinator_host(
+                self.transport,
+                self.bootstrap,
+                timeout=min(1.0, self.config.request_timeout),
+            )
+            if coordinator_host is None:
+                yield self.sim.timeout(self.config.retry_backoff)
+                continue
+            try:
+                reply = yield from self.transport.request(
+                    coordinator_host,
+                    COORDINATOR_PORT,
+                    {"type": "init_producer_id", "name": self.name},
+                    size=48,
+                    timeout=min(1.0, self.config.request_timeout),
+                )
+            except RequestTimeout:
+                yield self.sim.timeout(self.config.retry_backoff)
+                continue
+            if reply.get("error") is None:
+                self.producer_id = reply["producer_id"]
+                self.producer_epoch = reply["producer_epoch"]
 
     # -- metadata ---------------------------------------------------------------------------
     def _leader_host(self, key: str) -> Optional[str]:

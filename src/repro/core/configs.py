@@ -131,6 +131,10 @@ class ProducerStubConfig:
     request_timeout: float = 2.0
     buffer_memory: int = 32 * 1024 * 1024
     acks: Any = 1
+    #: Exactly-once produce path (``idempotence`` in YAML): the stub's
+    #: producer initializes a coordinator-allocated id and brokers drop
+    #: duplicate retries (see ``docs/exactly_once.md``).
+    idempotence: bool = False
     start_delay: float = 0.0
     #: Dict field of each produced item to use as the record key (``keyField``
     #: in YAML).  Keyed records hash to a stable partition, so multi-partition
@@ -163,6 +167,7 @@ class ProducerStubConfig:
             request_timeout=_duration_to_seconds(data.get("requestTimeout"), 2.0),
             buffer_memory=_size_to_bytes(data.get("bufferMemory"), 32 * 1024 * 1024),
             acks=data.get("acks", 1),
+            idempotence=bool(data.get("idempotence", data.get("idempotent", False))),
             start_delay=_duration_to_seconds(data.get("startDelay"), 0.0),
             key_field=data.get("keyField") or data.get("key_field"),
         )

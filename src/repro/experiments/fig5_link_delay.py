@@ -47,6 +47,8 @@ class Fig5Config:
     duration: float = 60.0
     #: Partitions per word-count topic (documents are keyed by file name).
     partitions: int = 1
+    #: Exactly-once produce path for the document source (broker-side dedup).
+    idempotence: bool = False
     seed: int = 1
 
 
@@ -105,6 +107,7 @@ def run_single(component: str, delay_ms: float, config: Fig5Config) -> List[floa
         per_component_latency={role: delay_ms},
         files_per_second=config.files_per_second,
         partitions=config.partitions,
+        idempotence=config.idempotence,
     )
     # Pre-generated: every sweep point replays the identical seeded corpus,
     # so synthesis runs once for the whole figure.

@@ -72,6 +72,11 @@ class Fig6Config:
     #: topic A on the disconnected site, and the fault triggers one election
     #: per partition that site led.
     partitions: int = 1
+    #: Exactly-once produce path: site producers carry sequence numbers and
+    #: brokers drop duplicate retries.  Note this dedups *retries*; the
+    #: ZooKeeper-mode silent loss (truncation) is a different hole and stays
+    #: visible with idempotence on.
+    idempotence: bool = False
 
 
 @dataclass
@@ -155,6 +160,7 @@ def run_fig6(config: Optional[Fig6Config] = None) -> Fig6Result:
         topics=[TOPIC_A, TOPIC_B],
         message_size=config.message_size,
         rate_kbps=config.rate_kbps,
+        idempotence=config.idempotence,
     )
     producers = {}
     consumers = {}

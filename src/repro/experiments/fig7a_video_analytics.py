@@ -44,6 +44,8 @@ class Fig7aConfig:
     broker_cpu_per_record: float = 12e-6
     #: Partitions of the frames topic (frames are keyed by frame id).
     partitions: int = 1
+    #: Exactly-once produce path for the frame producer.
+    idempotence: bool = False
     seed: int = 5
 
 
@@ -88,7 +90,11 @@ def run_single(n_consumers: int, config: Fig7aConfig) -> Dict[str, object]:
     producer = Producer(
         host,
         bootstrap=["node"],
-        config=ProducerConfig(buffer_memory=64 * 1024 * 1024, linger=0.005),
+        config=ProducerConfig(
+            buffer_memory=64 * 1024 * 1024,
+            linger=0.005,
+            idempotence=config.idempotence,
+        ),
         name="frame-producer",
     )
 

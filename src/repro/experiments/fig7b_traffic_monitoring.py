@@ -47,6 +47,8 @@ class Fig7bConfig:
     #: key and runs one SPE source instance per partition (the partition-aware
     #: ingest plane); 1 keeps the paper's single-partition deployment.
     partitions: int = 1
+    #: Exactly-once produce path for the mirror producer.
+    idempotence: bool = False
     seed: int = 11
 
 
@@ -130,7 +132,9 @@ def run_single(n_users: int, config: Fig7bConfig) -> Dict[str, float]:
     producer = Producer(
         network.host("mirror"),
         bootstrap=["broker"],
-        config=ProducerConfig(buffer_memory=64 * 1024 * 1024),
+        config=ProducerConfig(
+            buffer_memory=64 * 1024 * 1024, idempotence=config.idempotence
+        ),
         name="mirror-producer",
     )
     traffic = pregenerated(

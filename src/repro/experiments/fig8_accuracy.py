@@ -69,6 +69,8 @@ class Fig8Config:
     duration: float = 60.0
     #: Partitions per word-count topic.
     partitions: int = 1
+    #: Exactly-once produce path for the document source.
+    idempotence: bool = False
     seed: int = 2
 
 
@@ -122,6 +124,7 @@ def run_single(
         per_component_latency={role: delay_ms},
         files_per_second=config.files_per_second,
         partitions=config.partitions,
+        idempotence=config.idempotence,
     )
     # Pre-generated: the (component, delay, profile) sweep replays one corpus.
     documents = pregenerated(generate_documents, config.n_documents, seed=config.seed)

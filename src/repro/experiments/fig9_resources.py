@@ -47,6 +47,8 @@ class Fig9Config:
     replication_factor: int = 2
     #: Partitions per topic (replica sets rotate across the sites).
     partitions: int = 1
+    #: Exactly-once produce path for the site producers.
+    idempotence: bool = False
     seed: int = 4
 
 
@@ -111,6 +113,7 @@ def run_single(n_sites: int, buffer_size: int, config: Fig9Config) -> ResourceRe
         message_size=config.message_size,
         rate_kbps=config.rate_kbps,
         buffer_memory=buffer_size,
+        idempotence=config.idempotence,
     )
     producer_stubs = []
     for site in sites:

@@ -49,6 +49,8 @@ class Table2Config:
     duration: float = 40.0
     #: Partitions per application topic (every app's task plumbs it through).
     partitions: int = 1
+    #: Exactly-once produce path for every app's ingestion producer.
+    idempotence: bool = False
     seed: int = 1
 
 
@@ -91,12 +93,14 @@ def _run_application(name: str, config: Table2Config) -> Dict[str, object]:
         result = word_count.run(
             n_documents=config.n_items, duration=config.duration, seed=config.seed,
             files_per_second=10.0, partitions=config.partitions,
+            idempotence=config.idempotence,
         )
         return {"consumed": result.messages_consumed, "verified": result.messages_consumed > 0}
     if name == "ride_selection":
         result = ride_selection.run(
             n_rides=config.n_items, duration=config.duration, seed=config.seed,
             rides_per_second=15.0, partitions=config.partitions,
+            idempotence=config.idempotence,
         )
         return {
             "consumed": result.messages_consumed,
@@ -106,6 +110,7 @@ def _run_application(name: str, config: Table2Config) -> Dict[str, object]:
         result = sentiment_analysis.run(
             n_tweets=config.n_items, duration=config.duration, seed=config.seed,
             tweets_per_second=15.0, partitions=config.partitions,
+            idempotence=config.idempotence,
         )
         return {
             "consumed": result.extras.get("scored_tweets", 0),
@@ -115,6 +120,7 @@ def _run_application(name: str, config: Table2Config) -> Dict[str, object]:
         result = maritime_monitoring.run(
             n_messages=config.n_items, duration=config.duration, seed=config.seed,
             messages_per_second=15.0, partitions=config.partitions,
+            idempotence=config.idempotence,
         )
         return {
             "consumed": result.spe_metrics.get("h3", {}).get("input_records", 0),
@@ -124,6 +130,7 @@ def _run_application(name: str, config: Table2Config) -> Dict[str, object]:
         result = fraud_detection.run(
             n_transactions=config.n_items, duration=config.duration, seed=config.seed,
             fraud_rate=0.2, transactions_per_second=15.0, partitions=config.partitions,
+            idempotence=config.idempotence,
         )
         return {
             "consumed": result.messages_consumed,

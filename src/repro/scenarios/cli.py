@@ -232,6 +232,12 @@ def _parse_sweep(item: str) -> Tuple[Optional[str], List[Any]]:
 
 def _parse_value(raw: str) -> Any:
     raw = raw.strip()
+    # Lowercase booleans are what shells hand us (--set idempotence=true);
+    # without this they would land as truthy *strings*, making "false" True.
+    if raw.lower() == "true":
+        return True
+    if raw.lower() == "false":
+        return False
     try:
         return ast.literal_eval(raw)
     except (ValueError, SyntaxError):

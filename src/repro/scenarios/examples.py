@@ -41,6 +41,9 @@ class QuickstartConfig:
     duration: float = 60.0
     #: Partitions per topic (``--set partitions=4`` shards the whole pipeline).
     partitions: int = 1
+    #: Exactly-once produce path (``--set idempotence=true``): the document
+    #: source carries sequence numbers and brokers drop duplicate retries.
+    idempotence: bool = False
     seed: int = 42
 
 
@@ -52,6 +55,7 @@ def run_quickstart(config: QuickstartConfig) -> Dict[str, Any]:
         files_per_second=config.files_per_second,
         link_latency_ms=config.link_latency_ms,
         partitions=config.partitions,
+        idempotence=config.idempotence,
     )
     documents = pregenerated(generate_documents, config.n_documents, seed=config.seed)
     emulation = Emulation(task, seed=config.seed, datasets={"documents": documents})
@@ -165,6 +169,9 @@ class GraphmlTaskConfig:
     #: (the default) keeps whatever counts the listing's ``topicCfg``
     #: declares (which also accepts a ``partitions`` entry inline).
     partitions: int = 1
+    #: ``True`` switches every producer of the listing to the exactly-once
+    #: produce path (a ``prodCfg`` may also declare ``idempotence`` inline).
+    idempotence: bool = False
     seed: int = 7
 
 
@@ -173,6 +180,11 @@ def run_graphml_task(config: GraphmlTaskConfig) -> Dict[str, Any]:
     if config.partitions > 1:
         for topic in task.topics:
             topic.partitions = config.partitions
+    if config.idempotence:
+        for node in task.nodes.values():
+            prod_cfg = node.attributes.get("prodCfg")
+            if isinstance(prod_cfg, dict):
+                prod_cfg["idempotence"] = True
     problems = task.validate()
     documents = pregenerated(generate_documents, config.n_documents, seed=config.seed)
     emulation = Emulation(task, seed=config.seed, datasets={"documents": documents})
@@ -308,6 +320,8 @@ class FraudPipelineConfig:
     transactions_per_second: float = 30.0
     #: Partitions per topic (transactions are keyed by account id).
     partitions: int = 1
+    #: Exactly-once produce path for the transaction source.
+    idempotence: bool = False
     seed: int = 13
 
 
@@ -321,6 +335,7 @@ def run_fraud_pipeline(config: FraudPipelineConfig) -> Dict[str, Any]:
         fraud_rate=config.fraud_rate,
         transactions_per_second=config.transactions_per_second,
         partitions=config.partitions,
+        idempotence=config.idempotence,
     )
     alerts = result.extras["alerts"]
     true_positives = result.extras["true_positive_alerts"]

@@ -39,6 +39,7 @@ class ProducerStub:
                 buffer_memory=self.config.buffer_memory,
                 request_timeout=self.config.request_timeout,
                 acks=self.config.acks,
+                idempotence=self.config.idempotence,
             ),
             name=f"{self.name}-producer",
         )

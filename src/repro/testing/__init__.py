@@ -1,0 +1,17 @@
+"""Reusable test infrastructure: seeded chaos schedules and invariant checks.
+
+Lives in the package (not under ``tests/``) so benchmarks, examples and
+future scenarios can drive the same fault machinery the test suite uses.
+"""
+
+from repro.testing.chaos import (  # noqa: F401
+    CHAOS_PROFILES,
+    ChaosResult,
+    FaultAction,
+    FaultSchedule,
+    check_acked_implies_durable,
+    check_all_acked_consumed,
+    check_no_duplicates,
+    check_per_key_order,
+    run_chaos_produce,
+)

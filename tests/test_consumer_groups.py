@@ -571,3 +571,113 @@ def test_fig6_multi_partition_arm_elects_per_partition():
     failed_partitions = {e["partition"] for e in elections if e["old_leader"] == led}
     assert "topicA-0" in failed_partitions
     assert result.messages_consumed > 0
+
+
+def test_eager_join_at_least_once_window_is_at_most_one_heartbeat():
+    """Regression lock for the documented eager-join delivery window.
+
+    ``docs/partitioning.md`` claims: a member joining mid-consumption opens
+    an at-least-once window, because assignment is handed out eagerly (not
+    revoke-before-assign) and the old owner only discovers the rebalance on
+    its next heartbeat — so re-delivery is bounded by one heartbeat interval.
+    This test pins all three halves of that claim: (1) nothing is lost,
+    (2) re-deliveries happen only on the partitions that changed owner, and
+    (3) the old owner stops fetching a reassigned partition within one
+    heartbeat interval (plus one in-flight fetch) of the rebalance.
+    """
+    heartbeat = 1.0
+    sim = Simulator(seed=5)
+    network = one_big_switch(
+        sim,
+        ["broker", "a", "b", "source"],
+        default_config=LinkConfig(latency_ms=1.0, bandwidth_mbps=1000.0),
+    )
+    cluster = BrokerCluster(network, coordinator_host="broker", config=ClusterConfig())
+    cluster.add_broker("broker")
+    cluster.add_topic(TopicConfig(name="events", partitions=2))
+    cluster.start(settle_time=1.0)
+    producer = cluster.create_producer("source", config=ProducerConfig(linger=0.01))
+
+    def make_member(host, name):
+        member = cluster.create_consumer(
+            host,
+            config=ConsumerConfig(
+                group="workers",
+                poll_interval=0.05,
+                group_heartbeat_interval=heartbeat,
+            ),
+            name=name,
+        )
+        member.subscribe(["events"])
+        return member
+
+    veteran = make_member("a", "member-a")
+    joiner = make_member("b", "member-b")
+    n_records = 500
+    join_at = 11.0
+
+    def drive():
+        yield sim.timeout(3.0)
+        producer.start()
+        veteran.start()
+        yield sim.timeout(2.0)
+        for i in range(n_records):
+            producer.send(ProducerRecord(topic="events", key=f"k{i % 7}", value=i))
+            yield sim.timeout(0.02)
+
+    def late_join():
+        yield sim.timeout(join_at)
+        joiner.start()
+
+    sim.process(drive())
+    sim.process(late_join())
+    sim.run(until=35.0)
+
+    assert producer.records_acked == n_records
+    # The joiner really did take partitions over mid-consumption.
+    taken = set(joiner.assignment() or ())
+    assert taken and taken < {"events-0", "events-1"}
+    rebalance_time = next(
+        event["time"]
+        for event in cluster.coordinator.event_log
+        if event["event"] == "group-rebalance"
+        and event["reason"] == "member-joined"
+        and "member-b" in event["members"]
+    )
+
+    deliveries = {}
+    for member in (veteran, joiner):
+        for record in member.received:
+            key = (record.partition, record.offset)
+            deliveries.setdefault(key, []).append((member.name, record.received_at))
+    # (1) At-least-once: every produced log position was delivered.
+    produced_positions = {
+        (int(partition_key.rsplit("-", 1)[1]), offset)
+        for partition_key, log in cluster.brokers["broker-broker"].logs.items()
+        if partition_key.startswith("events-")
+        for offset in range(log.log_end_offset)
+    }
+    missing = produced_positions - set(deliveries)
+    assert missing == set(), f"lost positions: {sorted(missing)[:5]}"
+    # (2) The window is real (commits trail consumption) but confined to the
+    # partitions that changed owner.
+    duplicated = {key for key, owners in deliveries.items() if len(owners) > 1}
+    assert duplicated, "expected re-deliveries inside the eager-join window"
+    taken_partitions = {int(key.rsplit("-", 1)[1]) for key in taken}
+    assert {partition for partition, _ in duplicated} <= taken_partitions
+    # (3) ...and closes within one heartbeat (+ one in-flight fetch) of the
+    # rebalance: after that, the old owner never delivers from a partition
+    # it no longer owns.
+    fetch_slack = 0.25
+    veteran_tail = max(
+        (
+            record.received_at
+            for record in veteran.received
+            if record.partition in taken_partitions
+        ),
+        default=0.0,
+    )
+    assert veteran_tail <= rebalance_time + heartbeat + fetch_slack, (
+        f"old owner kept delivering {veteran_tail - rebalance_time:.2f}s past "
+        f"the rebalance (heartbeat={heartbeat})"
+    )

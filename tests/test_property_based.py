@@ -3,6 +3,7 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.broker.batch import RecordBatch
 from repro.broker.log import PartitionLog
 from repro.broker.message import ProducerRecord, _stable_hash
 from repro.core.configs import _duration_to_seconds, _size_to_bytes
@@ -151,6 +152,124 @@ def test_partition_log_offsets_contiguous_and_truncation_consistent(sizes, trunc
     # Re-appending after truncation keeps offsets contiguous.
     record = log.append(key="x", value="x", size=1, timestamp=0.0, produced_at=0.0, leader_epoch=1)
     assert record.offset == log.log_end_offset - 1
+
+
+# ---------------------------------------------------------------------------
+# Producer dedup table (idempotent produce path)
+# ---------------------------------------------------------------------------
+def _producer_batch(pid, epoch, base_seq, values):
+    batch = RecordBatch("t", 0)
+    for offset, value in enumerate(values):
+        batch.append(key=f"{pid}", value=value, size=1, produced_at=0.0)
+    batch.producer_id = pid
+    batch.producer_epoch = epoch
+    batch.base_sequence = base_seq
+    return batch
+
+
+def _submit(log, batch):
+    """The broker's produce gate, reduced to its dedup decision."""
+    verdict = log.check_producer_batch(
+        batch.producer_id,
+        batch.producer_epoch,
+        batch.base_sequence,
+        count=len(batch.values),
+    )
+    if verdict == "ok":
+        log.append_batch(batch, timestamp=0.0, leader_epoch=0)
+    return verdict
+
+
+def _canonical_batches(pid, batch_sizes, epoch_bumps, start=0):
+    """The happy-path batch stream of one producer: consecutive sequences,
+    epoch bumps resetting the sequence space (as a producer re-init does)."""
+    batches = []
+    epoch, sequence, value = 0, 0, start
+    for size, bump in zip(batch_sizes, epoch_bumps):
+        if bump:
+            epoch += 1
+            sequence = 0
+        values = list(range(value, value + size))
+        batches.append(_producer_batch(pid, epoch, sequence, values))
+        sequence += size
+        value += size
+    return batches
+
+
+@given(
+    batch_sizes=st.lists(st.integers(min_value=1, max_value=4), min_size=1, max_size=8),
+    epoch_bumps=st.lists(st.booleans(), min_size=8, max_size=8),
+    retry_plan=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=7), st.integers(min_value=0, max_value=7)),
+        max_size=12,
+    ),
+)
+@settings(max_examples=100, deadline=None)
+def test_dedup_gate_yields_happy_path_log_under_any_retry_interleaving(
+    batch_sizes, epoch_bumps, retry_plan
+):
+    """Retries/duplicates/epoch bumps in any interleaving produce exactly the
+    dedup-free happy-path log with the duplicates removed."""
+    canonical = _canonical_batches(7, batch_sizes, epoch_bumps)
+    happy = PartitionLog("t")
+    for batch in canonical:
+        assert _submit(happy, batch) == "ok"
+    expected = [record.value for record in happy.all_records()]
+
+    adversarial = PartitionLog("t")
+    submitted = []
+    # (after_index, which) pairs: after submitting canonical batch
+    # ``after_index`` re-submit an arbitrary earlier batch — a stale
+    # Transport retry, a duplicated packet, or a zombie write from before an
+    # epoch bump; the gate must drop every one of them.
+    retries_after = {}
+    for after_index, which in retry_plan:
+        retries_after.setdefault(after_index % len(canonical), []).append(which)
+    for index, batch in enumerate(canonical):
+        assert _submit(adversarial, batch) == "ok"
+        submitted.append(batch)
+        for which in retries_after.get(index, []):
+            stale = submitted[which % len(submitted)]
+            verdict = _submit(adversarial, stale)
+            assert verdict in ("duplicate", "fenced")
+    assert [record.value for record in adversarial.all_records()] == expected
+
+
+@given(
+    sizes_a=st.lists(st.integers(min_value=1, max_value=3), min_size=1, max_size=6),
+    sizes_b=st.lists(st.integers(min_value=1, max_value=3), min_size=1, max_size=6),
+    merge=st.lists(st.booleans(), min_size=12, max_size=12),
+    retries=st.lists(st.integers(min_value=0, max_value=30), max_size=8),
+)
+@settings(max_examples=60, deadline=None)
+def test_dedup_table_isolates_producers_under_interleaving(
+    sizes_a, sizes_b, merge, retries
+):
+    """Two producers' streams interleaved any way (with stale retries mixed
+    in) keep exactly each producer's happy-path records, in arrival order."""
+    stream_a = _canonical_batches(1, sizes_a, [False] * len(sizes_a))
+    stream_b = _canonical_batches(2, sizes_b, [False] * len(sizes_b), start=100)
+    log = PartitionLog("t")
+    submitted = []
+    queue_a, queue_b = list(stream_a), list(stream_b)
+    retry_iter = iter(retries)
+    while queue_a or queue_b:
+        take_a = queue_a and (not queue_b or (merge and merge.pop(0)))
+        batch = queue_a.pop(0) if take_a else queue_b.pop(0)
+        assert _submit(log, batch) == "ok"
+        submitted.append(batch)
+        which = next(retry_iter, None)
+        if which is not None:
+            assert _submit(log, submitted[which % len(submitted)]) != "ok"
+    values = [record.value for record in log.all_records()]
+    assert [v for v in values if v < 100] == [
+        v for batch in stream_a for v in batch.values
+    ]
+    assert [v for v in values if v >= 100] == [
+        v for batch in stream_b for v in batch.values
+    ]
+    assert log.producer_entry(1).last_sequence == sum(sizes_a) - 1
+    assert log.producer_entry(2).last_sequence == sum(sizes_b) - 1
 
 
 @given(

@@ -344,6 +344,18 @@ class TestCli:
         assert code == 0
         assert "scenario quickstart" in buffer.getvalue()
 
+    def test_quickstart_with_idempotence_passes_check(self):
+        """The whole catalog accepts ``--set idempotence=true``: the pipeline
+        runs on the exactly-once produce path and delivers identically."""
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            code = cli_main(
+                ["run", "quickstart", "--scale", "quick",
+                 "--set", "idempotence=true", "--check"]
+            )
+        assert code == 0
+        assert "scenario quickstart" in buffer.getvalue()
+
     def test_partitions_sweep_axis_works_for_fig7b(self):
         buffer = io.StringIO()
         with redirect_stdout(buffer):
