@@ -14,7 +14,9 @@ trajectory to beat:
   plus the sharded variant (4 partitions / 4-member consumer group) and the
   partition-scaling ratio of their simulated drain windows, plus the
   idempotent-producer variant (sequence stamping + broker dedup table) and
-  its overhead ratio versus the plain reported-send path;
+  its overhead ratio versus the plain reported-send path, plus the
+  transactional variant (1000-record commits drained read_committed) and
+  its overhead ratio versus the idempotent rate;
 * wall-clock of two packet-heavy experiments at their quick-test scale
   (fig6 partition, fig7b traffic monitoring) *and* at paper scale
   (fig6: 10 sites / 600 s; fig7b: the full 20-100-user sweep).
@@ -160,6 +162,7 @@ def _produce_consume_once(
     partitions: int = 1,
     group_members: int = 1,
     idempotence: bool = False,
+    transactional: bool = False,
     sim_stats: dict = None,
 ) -> float:
     """One produce->consume run; returns the wall seconds until the last
@@ -190,6 +193,7 @@ def _produce_consume_once(
             linger=0.005,
             buffer_memory=512 * 1024 * 1024,
             idempotence=idempotence,
+            transactional_id="bench-tx" if transactional else None,
         ),
     )
     consumer_config = ConsumerConfig(
@@ -197,6 +201,7 @@ def _produce_consume_once(
         max_records_per_fetch=5000,
         keep_payloads=False,
         group="bench" if group_members > 1 else None,
+        isolation_level="read_committed" if transactional else "read_uncommitted",
     )
     consumers = []
     for host in sinks:
@@ -216,12 +221,22 @@ def _produce_consume_once(
             # drain window measures steady-state sharded consumption.
             yield sim.timeout(3.0)
         drain_started = sim.now
+        if transactional:
+            producer.begin_transaction()
         for i in range(n_records):
             send(
                 ProducerRecord(topic="events", key=i, value=payload, size=112)
             )
+            if transactional and i % 1000 == 999:
+                # 1000-record atomic commits: marker round-trips and LSO
+                # advancement are part of the measured path.
+                yield from producer.commit_transaction()
+                if i < n_records - 1:
+                    producer.begin_transaction()
             if i % 200 == 199:
                 yield sim.timeout(0.001)
+        if transactional and producer.in_transaction():
+            yield from producer.commit_transaction()
         while sum(consumer.records_consumed for consumer in consumers) < n_records:
             yield sim.timeout(0.05)
         if sim_stats is not None:
@@ -247,6 +262,7 @@ def _stable_best_seconds(
     partitions: int = 1,
     group_members: int = 1,
     idempotence: bool = False,
+    transactional: bool = False,
     sim_stats: dict = None,
 ) -> float:
     """Best-of-three stabilized measurement of one produce->consume setup.
@@ -271,6 +287,7 @@ def _stable_best_seconds(
                     partitions=partitions,
                     group_members=group_members,
                     idempotence=idempotence,
+                    transactional=transactional,
                     sim_stats=sim_stats,
                 ),
             )
@@ -362,6 +379,42 @@ def test_bench_produce_consume_idempotent_throughput():
     # comparisons in this trajectory).  A genuine dedup-table tax on the
     # idempotent path is caught by the per-machine 0.8x regression gate on
     # ``produce_consume_idempotent_records_per_sec`` below.
+
+
+def test_bench_produce_consume_txn_throughput():
+    """Transactional produce path: atomic 1000-record commits, read_committed.
+
+    Same stabilized protocol as the idempotent bench, with a transactional id:
+    the producer groups its stream into 1000-record transactions (each commit
+    is an end_txn round-trip plus a COMMIT marker append that advances the
+    LSO) and the consumer drains with ``read_committed`` isolation (LSO-capped
+    fetches + aborted-range filtering on the hot decode path).  Records the
+    end-to-end rate (``produce_consume_txn_records_per_sec``, regression-
+    gated) and the overhead ratio versus the idempotent rate measured just
+    before it — the incremental cost of atomicity on top of exactly-once.
+    """
+    n_records = 50_000
+    payload = "x" * 100
+    best = _stable_best_seconds(n_records, payload, transactional=True)
+    rate = _record("produce_consume_txn_records_per_sec", n_records / best)
+    idempotent = _results.get("produce_consume_idempotent_records_per_sec", 0.0)
+    ratio = idempotent / rate if rate else 0.0
+    if idempotent:
+        # Idempotent rate / transactional rate: 1.0 = free, higher = costlier.
+        _record("produce_consume_txn_overhead_ratio", ratio)
+    report(
+        "produce->consume throughput (transactional, read_committed)",
+        {
+            "records": n_records,
+            "seconds": best,
+            "records/sec": rate,
+            "overhead_vs_idempotent": f"{ratio:.3f}x" if idempotent else "n/a",
+        },
+    )
+    assert rate > 5_000
+    # Like the idempotence ratio above, the overhead ratio is reported-but-
+    # ungated; real slowdowns are caught by the per-machine regression gate
+    # on ``produce_consume_txn_records_per_sec``.
 
 
 def test_bench_produce_consume_4part_group_throughput():
@@ -602,6 +655,7 @@ def test_bench_persist_trajectory():
 GATED_METRICS = (
     "produce_consume_records_per_sec",
     "produce_consume_idempotent_records_per_sec",
+    "produce_consume_txn_records_per_sec",
     "produce_consume_4part_records_per_sec",
 )
 
@@ -629,6 +683,8 @@ _REMEASURE = {
     / _stable_best_seconds(50_000, "x" * 100),
     "produce_consume_idempotent_records_per_sec": lambda: 50_000
     / _stable_best_seconds(50_000, "x" * 100, idempotence=True),
+    "produce_consume_txn_records_per_sec": lambda: 50_000
+    / _stable_best_seconds(50_000, "x" * 100, transactional=True),
     "produce_consume_4part_records_per_sec": lambda: 50_000
     / _stable_best_seconds(50_000, "x" * 100, partitions=4, group_members=4),
 }

@@ -73,6 +73,8 @@ def create_task(
     batch_interval: float = 0.5,
     partitions: int = 1,
     idempotence: bool = False,
+    transactional_id: Optional[str] = None,
+    isolation_level: str = "read_uncommitted",
 ) -> TaskDescription:
     """Build the fraud-detection task description (5 components).
 
@@ -85,6 +87,7 @@ def create_task(
         prodType="SFST",
         prodCfg={
             "idempotence": idempotence,
+            "transactionalId": transactional_id,
             "topicName": TRANSACTIONS_TOPIC,
             "filePath": "transactions",
             "totalMessages": n_transactions,
@@ -103,7 +106,11 @@ def create_task(
             "batchInterval": batch_interval,
         },
     )
-    task.add_node("h4", consType="STANDARD", consCfg={"topics": [ALERTS_TOPIC]})
+    task.add_node(
+        "h4",
+        consType="STANDARD",
+        consCfg={"topics": [ALERTS_TOPIC], "isolationLevel": isolation_level},
+    )
     task.add_node("h5", storeType="MYSQL", storeCfg={"tables": ["alerts"]})
     task.add_switch("s1")
     for host in ("h1", "h2", "h3", "h4", "h5"):

@@ -61,6 +61,8 @@ def create_task(
     watched_ports: Optional[List[str]] = None,
     partitions: int = 1,
     idempotence: bool = False,
+    transactional_id: Optional[str] = None,
+    isolation_level: str = "read_uncommitted",
 ) -> TaskDescription:
     """Build the maritime-monitoring task description (4 components)."""
     watched = watched_ports or ["halifax", "boston"]
@@ -70,6 +72,7 @@ def create_task(
         prodType="SFST",
         prodCfg={
             "idempotence": idempotence,
+            "transactionalId": transactional_id,
             "topicName": AIS_TOPIC,
             "filePath": "ais",
             "totalMessages": n_messages,

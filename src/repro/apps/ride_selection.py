@@ -75,6 +75,8 @@ def create_task(
     window_seconds: float = 30.0,
     partitions: int = 1,
     idempotence: bool = False,
+    transactional_id: Optional[str] = None,
+    isolation_level: str = "read_uncommitted",
 ) -> TaskDescription:
     """Build the ride-selection task description (5 components)."""
     task = TaskDescription(name="ride-selection")
@@ -83,6 +85,7 @@ def create_task(
         prodType="SFST",
         prodCfg={
             "idempotence": idempotence,
+            "transactionalId": transactional_id,
             "topicName": RIDES_TOPIC,
             "filePath": "ride-info",
             "totalMessages": n_rides,
@@ -94,6 +97,7 @@ def create_task(
         prodType="SFST",
         prodCfg={
             "idempotence": idempotence,
+            "transactionalId": transactional_id,
             "topicName": TIPS_TOPIC,
             "filePath": "ride-tips",
             "totalMessages": n_rides,
@@ -114,7 +118,11 @@ def create_task(
             "windowSeconds": window_seconds,
         },
     )
-    task.add_node("h5", consType="STANDARD", consCfg={"topics": [RANKING_TOPIC]})
+    task.add_node(
+        "h5",
+        consType="STANDARD",
+        consCfg={"topics": [RANKING_TOPIC], "isolationLevel": isolation_level},
+    )
     task.add_switch("s1")
     for host in ("h1", "h2", "h3", "h4", "h5"):
         task.add_link(host, "s1", lat=link_latency_ms, bw=100.0)

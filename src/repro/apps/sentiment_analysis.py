@@ -57,6 +57,8 @@ def create_task(
     batch_interval: float = 0.5,
     partitions: int = 1,
     idempotence: bool = False,
+    transactional_id: Optional[str] = None,
+    isolation_level: str = "read_uncommitted",
 ) -> TaskDescription:
     """Build the sentiment-analysis task description (3 components)."""
     task = TaskDescription(name="sentiment-analysis")
@@ -65,6 +67,7 @@ def create_task(
         prodType="SFST",
         prodCfg={
             "idempotence": idempotence,
+            "transactionalId": transactional_id,
             "topicName": TWEETS_TOPIC,
             "filePath": "tweets",
             "totalMessages": n_tweets,

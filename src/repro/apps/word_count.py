@@ -97,6 +97,8 @@ def create_task(
     batch_interval: float = 0.5,
     partitions: int = 1,
     idempotence: bool = False,
+    transactional_id: Optional[str] = None,
+    isolation_level: str = "read_uncommitted",
 ) -> TaskDescription:
     """Build the Figure 2 word-count task description.
 
@@ -113,6 +115,7 @@ def create_task(
         prodType="DIRECTORY",
         prodCfg={
             "idempotence": idempotence,
+            "transactionalId": transactional_id,
             "topicName": RAW_TOPIC,
             "filePath": "documents",
             "totalMessages": n_documents,
@@ -143,7 +146,10 @@ def create_task(
     task.add_node(
         HOSTS["sink"],
         consType="STANDARD",
-        consCfg={"topics": [WORDS_TOPIC, AVERAGE_TOPIC]},
+        consCfg={
+            "topics": [WORDS_TOPIC, AVERAGE_TOPIC],
+            "isolationLevel": isolation_level,
+        },
     )
     task.add_switch("s1")
     for role, host in HOSTS.items():

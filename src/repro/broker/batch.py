@@ -35,6 +35,21 @@ fields inside its 61 bytes, so :data:`BATCH_HEADER_OVERHEAD` is unchanged
 and non-idempotent wire traffic is byte-identical to the pre-idempotence
 format.
 
+Transactions (KIP-98)
+---------------------
+A produce batch from a transactional producer additionally sets the header's
+``transactional`` bit; partition leaders use it to track the first offset of
+each producer's open transaction (the Last Stable Offset bookkeeping behind
+``read_committed`` consumers).  Transactions end with *control records* —
+COMMIT/ABORT markers written by the transaction coordinator, one log entry
+carrying ``(marker, producer_id, producer_epoch)``.  Like the producer
+columns, ``transactionals``/``controls`` per-record columns appear only on
+log-read batches (replica fetches), so markers and the transactional bit
+survive leader elections through the ordinary replication path.  Kafka's v2
+header carries the transactional/control bits inside its attributes field,
+so :data:`BATCH_HEADER_OVERHEAD` is again unchanged and non-transactional
+wire traffic stays byte-identical.
+
 Size accounting rules
 ---------------------
 * ``total_size`` is the sum of the per-record payload sizes (the same
@@ -52,6 +67,10 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 #: Bytes of shared batch-header overhead charged once per batch on the wire
 #: (Kafka's v2 record-batch header is 61 bytes).
 BATCH_HEADER_OVERHEAD = 61
+
+#: Payload bytes of one transaction control record (COMMIT/ABORT marker) —
+#: Kafka's control records carry a small fixed key/value pair.
+CONTROL_RECORD_SIZE = 16
 
 
 class RecordBatch:
@@ -73,6 +92,7 @@ class RecordBatch:
         "producer_id",
         "producer_epoch",
         "base_sequence",
+        "transactional",
         "keys",
         "values",
         "sizes",
@@ -82,6 +102,8 @@ class RecordBatch:
         "producer_ids",
         "producer_epochs",
         "sequences",
+        "transactionals",
+        "controls",
         "headers",
         "total_size",
     )
@@ -109,6 +131,11 @@ class RecordBatch:
         #: ``base_sequence + i``.  Fixed at drain time and reused verbatim
         #: across retries — which is exactly what makes retries dedupable.
         self.base_sequence = base_sequence
+        #: True when the batch's records belong to an open transaction
+        #: (leaders then track the open transaction's first offset for LSO
+        #: accounting).  Rides inside the v2 header's attributes bits, so the
+        #: wire size is unchanged.
+        self.transactional = False
         self.keys: List[Any] = []
         self.values: List[Any] = []
         self.sizes: List[int] = []
@@ -124,6 +151,12 @@ class RecordBatch:
         self.producer_ids: Optional[List[int]] = None
         self.producer_epochs: Optional[List[int]] = None
         self.sequences: Optional[List[int]] = None
+        #: Per-record transactional bits / control markers (log-read batches
+        #: only; ``None`` when the range holds no transactional traffic).  A
+        #: control entry is a ``(marker, producer_id, producer_epoch)`` tuple
+        #: — ``"commit"``/``"abort"`` — or ``None`` for data records.
+        self.transactionals: Optional[List[bool]] = None
+        self.controls: Optional[List[Optional[Tuple[str, int, int]]]] = None
         #: Per-record header dicts, or None when every record's headers are
         #: empty (the overwhelmingly common case — no allocation then).
         self.headers: Optional[List[Optional[Dict[str, Any]]]] = None
@@ -170,6 +203,8 @@ class RecordBatch:
         producer_ids: Optional[List[int]] = None,
         producer_epochs: Optional[List[int]] = None,
         sequences: Optional[List[int]] = None,
+        transactionals: Optional[List[bool]] = None,
+        controls: Optional[List[Optional[Tuple[str, int, int]]]] = None,
     ) -> "RecordBatch":
         """Build a batch directly from columns (log reads, workload synthesis)."""
         batch = cls(topic, partition, base_offset=base_offset, leader_epoch=leader_epoch)
@@ -182,6 +217,8 @@ class RecordBatch:
         batch.producer_ids = producer_ids
         batch.producer_epochs = producer_epochs
         batch.sequences = sequences
+        batch.transactionals = transactionals
+        batch.controls = controls
         batch.headers = headers
         batch.total_size = sum(sizes) if total_size is None else total_size
         return batch
@@ -259,11 +296,16 @@ class RecordBatch:
                 self.producer_epochs[skip:] if self.producer_epochs is not None else None
             ),
             sequences=self.sequences[skip:] if self.sequences is not None else None,
+            transactionals=(
+                self.transactionals[skip:] if self.transactionals is not None else None
+            ),
+            controls=self.controls[skip:] if self.controls is not None else None,
             headers=self.headers[skip:] if self.headers is not None else None,
             leader_epoch=self.leader_epoch,
         )
         trimmed.producer_id = self.producer_id
         trimmed.producer_epoch = self.producer_epoch
+        trimmed.transactional = self.transactional
         if self.base_sequence >= 0:
             trimmed.base_sequence = self.base_sequence + skip
         return trimmed

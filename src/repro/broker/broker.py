@@ -11,7 +11,7 @@ from repro.broker.errors import (
     NotLeaderError,
     UnknownTopicError,
 )
-from repro.broker.batch import RecordBatch
+from repro.broker.batch import CONTROL_RECORD_SIZE, RecordBatch
 from repro.broker.log import LogRecord, PartitionLog
 from repro.network.host import Host
 from repro.network.packet import estimate_size
@@ -116,6 +116,10 @@ class Broker:
             "duplicate_batches": 0,
             "duplicate_records": 0,
             "fenced_produces": 0,
+            #: Transaction counters: COMMIT/ABORT control records appended on
+            #: locally-led partitions and the log bytes they occupy.
+            "control_batches": 0,
+            "control_batch_bytes": 0,
         }
         self.lost_records: List[LogRecord] = []
         self.transport.register(BROKER_PORT, self._handle)
@@ -242,6 +246,8 @@ class Broker:
             return self._handle_replica_fetch(payload)
         if request_type == "epoch_end_offset":
             return self._handle_epoch_end_offset(payload)
+        if request_type == "write_txn_markers":
+            return self._handle_write_txn_markers(payload)
         if request_type == "find_coordinator":
             # Group-management clients ask any bootstrap broker where the
             # coordinator lives (Kafka's FindCoordinator request).  Kept out
@@ -446,23 +452,102 @@ class Broker:
             if offset > log.log_end_offset:
                 offset = log.log_end_offset
             max_records = payload.get("max_records", 500)
+            isolation = payload.get("isolation", "read_uncommitted")
+            # read_committed never reads past the Last Stable Offset (the
+            # first offset of the earliest still-open transaction); with no
+            # transactions the LSO equals the HW and both paths are identical.
+            up_to = (
+                log.last_stable_offset
+                if isolation == "read_committed"
+                else log.high_watermark
+            )
             # One wire object per fetch: the batch header carries the size, so
             # the reply size is header arithmetic, not a per-record sum.
-            batch = log.committed_read_batch(offset, max_records=max_records)
+            batch = log.read_batch(offset, max_records=max_records, up_to=up_to)
             cost = self.config.cpu_per_request + self.config.cpu_per_record * len(batch)
             yield from self.host.compute(cost)
-            self.records_served += len(batch)
-            return Response(
-                payload={
-                    "error": None,
-                    "batch": batch,
-                    "high_watermark": log.high_watermark,
-                    "log_end_offset": log.log_end_offset,
-                },
-                size=batch.total_size + 64,
-            )
+            reply = {
+                "error": None,
+                "batch": batch,
+                "high_watermark": log.high_watermark,
+                "log_end_offset": log.log_end_offset,
+            }
+            visible = len(batch)
+            if len(batch) and log.has_transactions:
+                # Control records (and, under read_committed, records of
+                # aborted transactions) ship inside the contiguous batch but
+                # must not reach the application: the consumer filters them by
+                # offset.  Keys added to the reply dict do not change its
+                # explicitly-sized timing.
+                skip_offsets, skipped_bytes = log.invisible_offsets(
+                    batch.base_offset, batch.next_offset, isolation
+                )
+                if skip_offsets:
+                    reply["skip_offsets"] = skip_offsets
+                    reply["skipped_bytes"] = skipped_bytes
+                    visible -= len(skip_offsets)
+            self.records_served += visible
+            return Response(payload=reply, size=batch.total_size + 64)
 
         return fetch_process()
+
+    # -- transaction markers -----------------------------------------------------------------------
+    def _handle_write_txn_markers(self, payload: dict):
+        """Append a COMMIT/ABORT control record (coordinator-issued).
+
+        Marker writes honor the acks=all durability bar — the coordinator
+        only completes a transaction once every marker is replicated, so a
+        committed transaction stays committed across leader elections.
+        Retries after a lost ack are deduplicated against the log's
+        ``last_markers`` state instead of appending a second marker.
+        """
+        key = payload["partition_key"]
+        producer_id = payload["producer_id"]
+        producer_epoch = payload["producer_epoch"]
+        marker = payload["marker"]
+
+        def marker_process():
+            info = self._partition_info(key)
+            if info is None:
+                return {"error": "unknown_topic"}
+            if not self._is_leader(key):
+                return {"error": "not_leader", "leader_host": self._leader_hint(key)}
+            log = self.logs[key]
+            last = log.last_markers.get(producer_id)
+            if (
+                log.open_txn_first_offset(producer_id) is None
+                and last is not None
+                and last[0] >= producer_epoch
+                and last[1] == marker
+            ):
+                # The marker already closed this transaction here (retry of a
+                # write whose ack was lost): re-ack at the same durability bar.
+                replicated = yield from self._await_high_watermark(log, last[2] + 1)
+                if not replicated:
+                    return {"error": "not_enough_replicas"}
+                return Response(
+                    payload={"error": None, "duplicate": True, "offset": last[2]},
+                    size=48,
+                )
+            cost = self.config.cpu_per_request + self.config.cpu_per_record
+            yield from self.host.compute(cost)
+            epoch = self._local_epochs.get(key, info["leader_epoch"])
+            offset = log.append_control(
+                producer_id,
+                producer_epoch,
+                marker,
+                timestamp=self.sim.now,
+                leader_epoch=epoch,
+            )
+            self.metrics["control_batches"] += 1
+            self.metrics["control_batch_bytes"] += CONTROL_RECORD_SIZE
+            self._maybe_advance_high_watermark(key)
+            replicated = yield from self._await_high_watermark(log, offset + 1)
+            if not replicated:
+                return {"error": "not_enough_replicas"}
+            return Response(payload={"error": None, "offset": offset}, size=48)
+
+        return marker_process()
 
     # -- replication path -----------------------------------------------------------------------------------
     def _handle_epoch_end_offset(self, payload: dict) -> dict:

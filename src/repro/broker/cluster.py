@@ -28,6 +28,9 @@ class ClusterConfig:
     session_timeout: float = 9.0
     failure_check_interval: float = 1.0
     preferred_election_interval: float = 30.0
+    #: Ceiling on how long a transaction may stay open before the
+    #: coordinator's sweeper aborts it (producers may configure less).
+    transaction_timeout: float = 60.0
     broker: BrokerConfig = field(default_factory=BrokerConfig)
 
     def __post_init__(self) -> None:
@@ -52,6 +55,7 @@ class BrokerCluster:
             session_timeout=self.config.session_timeout,
             failure_check_interval=self.config.failure_check_interval,
             preferred_election_interval=self.config.preferred_election_interval,
+            transaction_timeout=self.config.transaction_timeout,
         )
         self.brokers: Dict[str, Broker] = {}
         self.topics: Dict[str, TopicConfig] = {}
@@ -182,6 +186,30 @@ class BrokerCluster:
         """Duplicate records dropped by broker-side idempotence dedup."""
         return sum(
             broker.metrics["duplicate_records"] for broker in self.brokers.values()
+        )
+
+    def total_transactions_committed(self) -> int:
+        """Transactions the coordinator drove to CompleteCommit."""
+        return self.coordinator.txn_metrics["transactions_committed"]
+
+    def total_transactions_aborted(self) -> int:
+        """Transactions aborted (producer-requested, timed out, or fenced)."""
+        return self.coordinator.txn_metrics["transactions_aborted"]
+
+    def total_fenced_end_txn(self) -> int:
+        """end_txn attempts rejected because a newer instance fenced the caller."""
+        return self.coordinator.txn_metrics["fenced_end_txn"]
+
+    def total_control_batches(self) -> int:
+        """COMMIT/ABORT control records appended across all partition leaders."""
+        return sum(
+            broker.metrics["control_batches"] for broker in self.brokers.values()
+        )
+
+    def total_control_batch_bytes(self) -> int:
+        """Log bytes occupied by transaction control records."""
+        return sum(
+            broker.metrics["control_batch_bytes"] for broker in self.brokers.values()
         )
 
     def describe(self) -> dict:

@@ -59,8 +59,18 @@ class ConsumerConfig:
     #: How often a group member heartbeats the coordinator (each heartbeat
     #: also commits the member's current offsets).
     group_heartbeat_interval: float = 1.0
+    #: ``"read_uncommitted"`` (default — every record below the HW, exactly
+    #: today's behaviour) or ``"read_committed"`` — fetches stop at the Last
+    #: Stable Offset and records of aborted transactions are filtered out, so
+    #: only atomically committed transactions are ever observed.
+    isolation_level: str = "read_uncommitted"
 
     def __post_init__(self) -> None:
+        if self.isolation_level not in ("read_uncommitted", "read_committed"):
+            raise ValueError(
+                f"unknown isolation_level {self.isolation_level!r}; expected "
+                "'read_uncommitted' or 'read_committed'"
+            )
         if self.poll_interval <= 0:
             raise ValueError("poll_interval must be positive")
         if self.max_records_per_fetch <= 0:
@@ -114,8 +124,11 @@ class Consumer:
         self.config = config or ConsumerConfig()
         self.on_record = on_record
         #: Batch-level observer: called as ``on_batch(topic, partition, batch,
-        #: received_at)`` instead of materializing ConsumerRecords.  Ignored
-        #: while ``on_record`` or ``keep_payloads`` demand per-record objects.
+        #: received_at)`` instead of materializing ConsumerRecords — plus a
+        #: trailing ``skip`` frozenset of invisible offsets (control records,
+        #: aborted transactions) whenever the batch contains any; the observer
+        #: must not surface those records.  Ignored while ``on_record`` or
+        #: ``keep_payloads`` demand per-record objects.
         self.on_batch = on_batch
         self.transport = Transport(
             host, default_timeout=self.config.fetch_timeout, max_retries=0
@@ -404,17 +417,22 @@ class Consumer:
             return False
         leader_host = broker_entry["host"]
         offset = self.offsets.get(key, 0)
+        fetch_request = {
+            "type": "fetch",
+            "topic": info["topic"],
+            "partition": info["partition"],
+            "offset": offset,
+            "max_records": self.config.max_records_per_fetch,
+        }
+        if self.config.isolation_level != "read_uncommitted":
+            # Only stamped when non-default, so default-path requests are
+            # byte-identical to the pre-transactions wire format.
+            fetch_request["isolation"] = self.config.isolation_level
         try:
             reply = yield from self.transport.request(
                 leader_host,
                 BROKER_PORT,
-                {
-                    "type": "fetch",
-                    "topic": info["topic"],
-                    "partition": info["partition"],
-                    "offset": offset,
-                    "max_records": self.config.max_records_per_fetch,
-                },
+                fetch_request,
                 size=96,
                 timeout=self.config.fetch_timeout,
             )
@@ -436,19 +454,41 @@ class Consumer:
             # advancing offsets — a group member's leave-time committed
             # offsets must match what it actually delivered.
             return True
+        # Offsets the broker marked invisible: control records (always) and,
+        # under read_committed, records of aborted transactions.  They ship
+        # inside the contiguous batch but never reach the application, and
+        # they do not count towards consumer-visible record/byte metrics.
+        skip_offsets = reply.get("skip_offsets")
         if not self.config.keep_payloads and self.on_record is None:
             # Fast path for large experiments: the batch header already
             # carries the count, byte total and next offset — O(1) per fetch.
-            self.records_consumed += count
-            self.bytes_consumed += batch.total_size
+            if skip_offsets:
+                self.records_consumed += count - len(skip_offsets)
+                self.bytes_consumed += batch.total_size - reply.get("skipped_bytes", 0)
+            else:
+                self.records_consumed += count
+                self.bytes_consumed += batch.total_size
             self.offsets[key] = batch.next_offset
             if self.on_batch is not None:
-                self.on_batch(info["topic"], info["partition"], batch, self.sim.now)
+                if skip_offsets:
+                    self.on_batch(
+                        info["topic"],
+                        info["partition"],
+                        batch,
+                        self.sim.now,
+                        frozenset(skip_offsets),
+                    )
+                else:
+                    self.on_batch(info["topic"], info["partition"], batch, self.sim.now)
             return True
         now = self.sim.now
         topic = info["topic"]
         partition = info["partition"]
+        skip = frozenset(skip_offsets) if skip_offsets else None
         for offset, record_key, value, size, produced_at in batch.iter_records():
+            if skip is not None and offset in skip:
+                self.offsets[key] = offset + 1
+                continue
             consumer_record = ConsumerRecord(
                 topic=topic,
                 partition=partition,

@@ -42,10 +42,53 @@ from typing import Dict, List, Optional
 
 from repro.network.host import Host
 from repro.network.packet import estimate_size
-from repro.network.transport import Request, Response, Transport
+from repro.network.transport import Request, RequestTimeout, Response, Transport
+from repro.broker.errors import InvalidTxnStateError
 from repro.broker.topic import PartitionState, TopicConfig
 
 COORDINATOR_PORT = 2181
+
+#: Legal transitions of the transaction state machine (KIP-98).  ``Complete``
+#: states may re-enter ``Ongoing`` (the next transaction of the same
+#: transactional id); everything else raises ``InvalidTxnStateError``.
+_TXN_TRANSITIONS = {
+    "Empty": ("Ongoing",),
+    "Ongoing": ("PrepareCommit", "PrepareAbort"),
+    "PrepareCommit": ("CompleteCommit",),
+    "PrepareAbort": ("CompleteAbort",),
+    "CompleteCommit": ("Ongoing",),
+    "CompleteAbort": ("Ongoing",),
+}
+
+
+@dataclass
+class TransactionState:
+    """Coordinator-side state of one transactional id.
+
+    Mirrors Kafka's transaction metadata: the owning ``(producer_id,
+    epoch)`` pair, the explicit state machine, and the set of partitions the
+    current transaction has touched (the fan-out set for commit/abort
+    markers).
+    """
+
+    transactional_id: str
+    producer_id: int
+    producer_epoch: int
+    state: str = "Empty"
+    partitions: List[str] = field(default_factory=list)
+    #: Simulation time the current transaction became Ongoing (-1 = none);
+    #: the timeout sweeper aborts transactions stuck Ongoing for longer than
+    #: ``timeout``.
+    started_at: float = -1.0
+    timeout: float = 60.0
+
+    def transition(self, new_state: str) -> None:
+        if new_state not in _TXN_TRANSITIONS.get(self.state, ()):
+            raise InvalidTxnStateError(
+                f"transaction {self.transactional_id!r}: illegal transition "
+                f"{self.state} -> {new_state}"
+            )
+        self.state = new_state
 
 #: Assignor names accepted by ``join_group``.
 GROUP_ASSIGNORS = ("range", "roundrobin")
@@ -165,6 +208,7 @@ class Coordinator:
         session_timeout: float = 9.0,
         failure_check_interval: float = 1.0,
         preferred_election_interval: float = 30.0,
+        transaction_timeout: float = 60.0,
     ) -> None:
         if session_timeout <= 0:
             raise ValueError("session_timeout must be positive")
@@ -185,6 +229,23 @@ class Coordinator:
         #: applied to the idempotence subset).
         self.producer_ids: Dict[str, List[int]] = {}
         self._next_producer_id = 0
+        #: Default transaction timeout; producers may lower it per init.
+        self.transaction_timeout = transaction_timeout
+        #: transactional_id -> :class:`TransactionState` (the coordinator's
+        #: transaction metadata cache).
+        self.transactions: Dict[str, TransactionState] = {}
+        #: Append-only transaction log: one snapshot dict per state change.
+        #: ``restore_transactions`` replays it after a coordinator restart.
+        self.txn_log: List[dict] = []
+        self.txn_metrics = {
+            "transactions_committed": 0,
+            "transactions_aborted": 0,
+            "fenced_end_txn": 0,
+            "transactions_timed_out": 0,
+        }
+        #: Sweeper starts lazily with the first transactional id, so
+        #: transaction-free runs schedule no extra events (seeded goldens).
+        self._txn_sweeper_running = False
         self.metadata_version = 0
         self._snapshot_size_cache: tuple = (None, 0)
         self.elections: List[ElectionRecord] = []
@@ -228,6 +289,10 @@ class Coordinator:
             return self._handle_isr_update(payload)
         if request_type == "init_producer_id":
             return self._handle_init_producer_id(payload)
+        if request_type == "add_partitions_to_txn":
+            return self._handle_add_partitions_to_txn(payload)
+        if request_type == "end_txn":
+            return self._handle_end_txn(payload)
         if request_type == "join_group":
             return self._handle_join_group(payload)
         if request_type == "sync_group":
@@ -286,8 +351,14 @@ class Coordinator:
         Producer ids are allocated sequentially (deterministic per run); a
         repeat init under the same name keeps the id but bumps the epoch, so
         partition leaders fence the superseded instance's in-flight retries.
+        A ``transactional_id`` keys the registry instead of the instance name
+        (that is what lets a restarted producer fence its predecessor), and a
+        re-init additionally *aborts the predecessor's open transaction* —
+        the markers carry the bumped epoch, so partition leaders fence the
+        zombie's stragglers the moment the abort marker lands.
         """
-        name = payload.get("name")
+        transactional_id = payload.get("transactional_id")
+        name = transactional_id or payload.get("name")
         if not name:
             return {"error": "missing producer name"}
         entry = self.producer_ids.get(name)
@@ -308,7 +379,269 @@ class Coordinator:
                 producer_id=entry[0],
                 producer_epoch=entry[1],
             )
+        if transactional_id:
+            self._ensure_txn_sweeper()
+            timeout = min(
+                float(payload.get("transaction_timeout", self.transaction_timeout)),
+                self.transaction_timeout,
+            )
+            txn = self.transactions.get(transactional_id)
+            if txn is None:
+                txn = self.transactions[transactional_id] = TransactionState(
+                    transactional_id=transactional_id,
+                    producer_id=entry[0],
+                    producer_epoch=entry[1],
+                    timeout=timeout,
+                )
+                self._log_txn(txn)
+            else:
+                txn.producer_epoch = entry[1]
+                txn.timeout = timeout
+                if txn.state == "Ongoing":
+                    # The predecessor died (or hung) mid-transaction; its
+                    # writes must never become visible to read_committed
+                    # consumers.
+                    self._begin_abort(txn, reason="fenced")
+                else:
+                    self._log_txn(txn)
         return {"error": None, "producer_id": entry[0], "producer_epoch": entry[1]}
+
+    # -- transactions ------------------------------------------------------------------
+    def _log_txn(self, txn: TransactionState) -> None:
+        """Append one snapshot of the transaction's state to the txn log."""
+        self.txn_log.append(
+            {
+                "time": self.sim.now,
+                "transactional_id": txn.transactional_id,
+                "producer_id": txn.producer_id,
+                "producer_epoch": txn.producer_epoch,
+                "state": txn.state,
+                "partitions": list(txn.partitions),
+                "started_at": txn.started_at,
+                "timeout": txn.timeout,
+            }
+        )
+
+    def _check_txn_caller(
+        self, txn: Optional[TransactionState], payload: dict
+    ) -> Optional[dict]:
+        """Fencing check shared by the transactional handlers."""
+        if txn is None:
+            return {"error": "invalid_txn_state", "message": "unknown transactional id"}
+        if (
+            payload.get("producer_id") != txn.producer_id
+            or payload.get("producer_epoch", -1) < txn.producer_epoch
+        ):
+            return {"error": "producer_fenced", "producer_epoch": txn.producer_epoch}
+        return None
+
+    def _handle_add_partitions_to_txn(self, payload: dict) -> dict:
+        """Register partitions with the caller's current transaction.
+
+        The first registration of a transaction moves Empty/Complete* ->
+        Ongoing and stamps ``started_at`` (the timeout clock).  Registering
+        while the transaction is completing (Prepare*) is rejected — the
+        producer retries until the marker fan-out settles.
+        """
+        txn = self.transactions.get(payload.get("transactional_id"))
+        fenced = self._check_txn_caller(txn, payload)
+        if fenced is not None:
+            return fenced
+        if txn.state in ("PrepareCommit", "PrepareAbort"):
+            return {"error": "invalid_txn_state", "message": f"transaction is {txn.state}"}
+        if txn.state != "Ongoing":
+            txn.transition("Ongoing")
+            txn.partitions = []
+            txn.started_at = self.sim.now
+        added = False
+        for key in payload.get("partitions", []):
+            if key not in txn.partitions:
+                txn.partitions.append(key)
+                added = True
+        if added:
+            txn.partitions.sort()
+            self._log_txn(txn)
+        return {"error": None, "state": txn.state}
+
+    def _handle_end_txn(self, payload: dict):
+        """Commit or abort the caller's transaction (generator process).
+
+        Moves Ongoing -> Prepare*, fans COMMIT/ABORT markers out to every
+        registered partition leader in the background, and replies only once
+        the transaction reaches Complete* — so a producer returning from
+        ``commit_transaction()`` knows every marker is replicated and its
+        records are visible to ``read_committed`` consumers.
+        """
+        txn = self.transactions.get(payload.get("transactional_id"))
+        outcome = payload.get("outcome")
+        fenced = self._check_txn_caller(txn, payload)
+        if fenced is not None:
+            if fenced["error"] == "producer_fenced":
+                self.txn_metrics["fenced_end_txn"] += 1
+            return fenced
+        if outcome not in ("commit", "abort"):
+            return {"error": f"unknown end_txn outcome {outcome!r}"}
+        prepare = "PrepareCommit" if outcome == "commit" else "PrepareAbort"
+        complete = "CompleteCommit" if outcome == "commit" else "CompleteAbort"
+        if txn.state == "Ongoing":
+            txn.transition(prepare)
+            self._log_txn(txn)
+            self._log(
+                "txn-end-requested",
+                transactional_id=txn.transactional_id,
+                outcome=outcome,
+                partitions=list(txn.partitions),
+            )
+            self.sim.process(
+                self._write_markers(txn, outcome),
+                name=f"coordinator:txn-markers:{txn.transactional_id}",
+            )
+        elif txn.state == complete:
+            return {"error": None, "state": txn.state}
+        elif txn.state != prepare:
+            # Committing an aborted (timed-out/fenced) transaction, aborting
+            # a committing one, or ending one that never began.
+            return {"error": "invalid_txn_state", "message": f"transaction is {txn.state}"}
+
+        def end_txn_process():
+            deadline = self.sim.now + 30.0
+            while txn.state == prepare and self.sim.now < deadline:
+                yield self.sim.timeout(0.05)
+            if txn.state != complete:
+                return {"error": "invalid_txn_state", "message": f"transaction is {txn.state}"}
+            return {"error": None, "state": txn.state}
+
+        return end_txn_process()
+
+    def _begin_abort(self, txn: TransactionState, reason: str) -> None:
+        """Move an Ongoing transaction to PrepareAbort and fan markers out."""
+        txn.transition("PrepareAbort")
+        self._log_txn(txn)
+        self._log(
+            "txn-abort-initiated",
+            transactional_id=txn.transactional_id,
+            reason=reason,
+            partitions=list(txn.partitions),
+        )
+        self.sim.process(
+            self._write_markers(txn, "abort"),
+            name=f"coordinator:txn-markers:{txn.transactional_id}",
+        )
+
+    def _write_markers(self, txn: TransactionState, outcome: str):
+        """Append the COMMIT/ABORT marker on every registered partition.
+
+        Retries each partition until its *current* leader acknowledges (the
+        leader may change mid-fan-out; metadata is re-read per attempt), then
+        completes the transaction.  Marker writes are idempotent broker-side
+        (``last_markers`` dedup), so retries after a lost ack are safe.
+        """
+        from repro.broker.broker import BROKER_PORT  # circular at module scope
+
+        producer_epoch = txn.producer_epoch
+        for key in sorted(txn.partitions):
+            while True:
+                state = self.partitions.get(key)
+                leader = state.leader if state is not None else None
+                registration = self.brokers.get(leader) if leader else None
+                if registration is not None and registration.alive:
+                    try:
+                        reply = yield from self.transport.request(
+                            registration.host,
+                            BROKER_PORT,
+                            {
+                                "type": "write_txn_markers",
+                                "partition_key": key,
+                                "producer_id": txn.producer_id,
+                                "producer_epoch": producer_epoch,
+                                "marker": outcome,
+                            },
+                            size=64,
+                            timeout=2.0,
+                            retries=0,
+                        )
+                    except RequestTimeout:
+                        reply = None
+                    if reply is not None and reply.get("error") is None:
+                        break
+                yield self.sim.timeout(0.2)
+        complete = "CompleteCommit" if outcome == "commit" else "CompleteAbort"
+        txn.transition(complete)
+        self._log_txn(txn)
+        if outcome == "commit":
+            self.txn_metrics["transactions_committed"] += 1
+        else:
+            self.txn_metrics["transactions_aborted"] += 1
+        self._log(
+            "txn-completed",
+            transactional_id=txn.transactional_id,
+            outcome=outcome,
+            partitions=list(txn.partitions),
+        )
+
+    def _ensure_txn_sweeper(self) -> None:
+        if self._txn_sweeper_running:
+            return
+        self._txn_sweeper_running = True
+        self.sim.process(self._txn_timeout_sweeper(), name="coordinator:txn-sweeper")
+
+    def _txn_timeout_sweeper(self):
+        """Abort transactions stuck Ongoing past their timeout (dead producers).
+
+        Deterministic: runs on the failure-detector cadence and visits
+        transactional ids in sorted order.
+        """
+        while True:
+            yield self.sim.timeout(self.failure_check_interval)
+            now = self.sim.now
+            for transactional_id in sorted(self.transactions):
+                txn = self.transactions[transactional_id]
+                if (
+                    txn.state == "Ongoing"
+                    and txn.started_at >= 0
+                    and now - txn.started_at > txn.timeout
+                ):
+                    self.txn_metrics["transactions_timed_out"] += 1
+                    self._begin_abort(txn, reason="timeout")
+
+    def restore_transactions(self, entries: List[dict]) -> None:
+        """Rebuild transaction state from a txn log (coordinator restart).
+
+        The last entry per transactional id wins; Prepare* transactions
+        resume their marker fan-out (markers are idempotent broker-side, so
+        re-sending already-acknowledged ones is harmless), and Ongoing ones
+        fall to the timeout sweeper if their producer is gone.
+        """
+        latest: Dict[str, dict] = {}
+        for entry in entries:
+            latest[entry["transactional_id"]] = entry
+        if latest:
+            self._ensure_txn_sweeper()
+        for transactional_id in sorted(latest):
+            entry = latest[transactional_id]
+            txn = TransactionState(
+                transactional_id=transactional_id,
+                producer_id=entry["producer_id"],
+                producer_epoch=entry["producer_epoch"],
+                state=entry["state"],
+                partitions=list(entry["partitions"]),
+                started_at=entry["started_at"],
+                timeout=entry["timeout"],
+            )
+            self.transactions[transactional_id] = txn
+            self.producer_ids[transactional_id] = [txn.producer_id, txn.producer_epoch]
+            self._next_producer_id = max(self._next_producer_id, txn.producer_id + 1)
+            self.txn_log.append(dict(entry))
+            if txn.state in ("PrepareCommit", "PrepareAbort"):
+                outcome = "commit" if txn.state == "PrepareCommit" else "abort"
+                self.sim.process(
+                    self._write_markers(txn, outcome),
+                    name=f"coordinator:txn-markers:{transactional_id}",
+                )
+        self._log("txn-state-restored", transactions=sorted(latest))
+
+    def transaction_state(self, transactional_id: str) -> Optional[TransactionState]:
+        return self.transactions.get(transactional_id)
 
     # -- consumer groups ---------------------------------------------------------------
     def _handle_join_group(self, payload: dict) -> dict:

@@ -42,6 +42,19 @@ class ProducerFencedError(BrokerError):
     ``DeliveryReport.duplicate`` / ``Producer.duplicate_acks``."""
 
 
+class InvalidTxnStateError(BrokerError):
+    """A transactional request arrived in a state that cannot accept it —
+    an illegal transition of the coordinator's transaction state machine
+    (e.g. ``commit_transaction`` without an ongoing transaction, or two
+    concurrent ``end_txn`` calls asking for different outcomes).  Mirrors
+    Kafka's ``INVALID_TXN_STATE``."""
+
+
+class TransactionAbortedError(BrokerError):
+    """The transaction was aborted (by the coordinator's timeout sweeper or a
+    fencing re-initialization) before the producer's commit could complete."""
+
+
 class BufferExhaustedError(Exception):
     """Producer-side: the configured ``buffer.memory`` is full and
     ``max.block.ms`` elapsed before space became available."""
@@ -59,6 +72,8 @@ ERROR_CODES = {
     "stale_epoch": StaleEpochError,
     "unavailable": BrokerUnavailableError,
     "producer_fenced": ProducerFencedError,
+    "invalid_txn_state": InvalidTxnStateError,
+    "transaction_aborted": TransactionAbortedError,
 }
 
 

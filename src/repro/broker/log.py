@@ -27,7 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.broker.batch import EMPTY_BATCH, RecordBatch
+from repro.broker.batch import CONTROL_RECORD_SIZE, EMPTY_BATCH, RecordBatch
 
 
 @dataclass
@@ -113,6 +113,27 @@ class PartitionLog:
         #: True once any record with a producer id landed here (lets the
         #: non-idempotent read path skip slicing the producer columns).
         self._has_producers = False
+        #: Per-record transaction columns, lazily materialized exactly like
+        #: the producer columns: ``_transactionals[i]`` is True for records of
+        #: an (eventually committed or aborted) transaction, ``_controls[i]``
+        #: holds a ``(marker, producer_id, producer_epoch)`` tuple for
+        #: COMMIT/ABORT control records (``None`` for data).  Kept in the log
+        #: so replica fetches rebuild the same LSO/abort state on followers.
+        self._transactionals: List[bool] = []
+        self._controls: List[Optional[Tuple[str, int, int]]] = []
+        self._has_txn = False
+        #: producer_id -> first offset of its currently *open* transaction in
+        #: this partition (removed when the end marker lands).  The Last
+        #: Stable Offset is the earliest of these (capped by the HW).
+        self._open_txn_first: Dict[int, int] = {}
+        #: Aborted-transaction index: ``(first_offset, marker_offset,
+        #: producer_id)`` per aborted transaction — what lets committed reads
+        #: filter aborted records out without scanning the whole log.
+        self.aborted_ranges: List[Tuple[int, int, int]] = []
+        #: producer_id -> (epoch, marker, offset) of its latest control
+        #: record; lets a leader acknowledge a retried marker write without
+        #: appending it twice.
+        self.last_markers: Dict[int, Tuple[int, str, int]] = {}
 
     # -- basic accessors ------------------------------------------------------------
     @property
@@ -130,6 +151,116 @@ class PartitionLog:
     @property
     def size_bytes(self) -> int:
         return self._size_bytes
+
+    # -- transaction state ------------------------------------------------------------
+    @property
+    def has_transactions(self) -> bool:
+        """True once any transactional record or control marker landed here."""
+        return self._has_txn
+
+    @property
+    def last_stable_offset(self) -> int:
+        """First offset of the earliest open transaction, capped at the HW.
+
+        With no open transaction this equals the high watermark — so the
+        non-transactional read path is unchanged.  ``read_committed``
+        consumers never fetch at or past this offset.
+        """
+        if not self._open_txn_first:
+            return self.high_watermark
+        return min(self.high_watermark, min(self._open_txn_first.values()))
+
+    def open_txn_first_offset(self, producer_id: int) -> Optional[int]:
+        return self._open_txn_first.get(producer_id)
+
+    def _ensure_txn_columns(self, backfill: int) -> None:
+        """First transactional append: backfill the transaction columns for
+        the ``backfill`` records already in the log."""
+        if self._has_txn:
+            return
+        self._transactionals = [False] * backfill
+        self._controls = [None] * backfill
+        self._has_txn = True
+
+    def _note_control(
+        self, offset: int, marker: str, producer_id: int, producer_epoch: int
+    ) -> None:
+        """Fold one control record into LSO / abort-index / fencing state."""
+        first = self._open_txn_first.pop(producer_id, None)
+        if marker == "abort" and first is not None:
+            self.aborted_ranges.append((first, offset, producer_id))
+        self.last_markers[producer_id] = (producer_epoch, marker, offset)
+        # A marker carries the coordinator's word on the producer's current
+        # epoch: bump the dedup entry so a zombie's stale-epoch data batches
+        # are fenced at this partition even before the successor produces.
+        entry = self.producer_state.get(producer_id)
+        if entry is None:
+            self.producer_state[producer_id] = ProducerEntry(producer_epoch, -1)
+        elif producer_epoch > entry.epoch:
+            entry.epoch = producer_epoch
+            entry.last_sequence = -1
+
+    def _rebuild_txn_state(self) -> None:
+        """Recompute open-transaction/abort state from the columns
+        (post-truncation path, mirroring ``_rebuild_producer_state``)."""
+        self._open_txn_first = {}
+        self.aborted_ranges = []
+        self.last_markers = {}
+        base = self._base_offset
+        controls = self._controls
+        transactionals = self._transactionals
+        producer_ids = self._producer_ids if self._has_producers else None
+        for index in range(len(self._values)):
+            control = controls[index]
+            if control is not None:
+                marker, producer_id, producer_epoch = control
+                first = self._open_txn_first.pop(producer_id, None)
+                if marker == "abort" and first is not None:
+                    self.aborted_ranges.append((first, base + index, producer_id))
+                self.last_markers[producer_id] = (producer_epoch, marker, base + index)
+            elif transactionals[index] and producer_ids is not None:
+                producer_id = producer_ids[index]
+                if producer_id >= 0 and producer_id not in self._open_txn_first:
+                    self._open_txn_first[producer_id] = base + index
+
+    def invisible_offsets(
+        self, from_offset: int, up_to: int, isolation: str
+    ) -> Tuple[List[int], int]:
+        """Offsets in ``[from_offset, up_to)`` a consumer must not observe.
+
+        Control records are invisible to *every* consumer (Kafka never
+        delivers them to clients); records of aborted transactions are
+        additionally invisible under ``read_committed``.  Returns the sorted
+        offset list plus their total payload bytes, so fetch accounting can
+        exclude them in O(len(skipped)).
+        """
+        if not self._has_txn:
+            return [], 0
+        base = self._base_offset
+        skipped: List[int] = []
+        start = max(from_offset, base)
+        end = min(up_to, self.log_end_offset)
+        for offset in range(start, end):
+            if self._controls[offset - base] is not None:
+                skipped.append(offset)
+        if isolation == "read_committed" and self.aborted_ranges:
+            producer_ids = self._producer_ids if self._has_producers else None
+            for first, marker_offset, producer_id in self.aborted_ranges:
+                lo = max(first, start)
+                hi = min(marker_offset, end)
+                for offset in range(lo, hi):
+                    index = offset - base
+                    if (
+                        self._transactionals[index]
+                        and producer_ids is not None
+                        and producer_ids[index] == producer_id
+                    ):
+                        skipped.append(offset)
+        if not skipped:
+            return [], 0
+        skipped = sorted(set(skipped))
+        bytes_skipped = sum(self._sizes[offset - base] for offset in skipped)
+        return skipped, bytes_skipped
 
     # -- producer dedup table ---------------------------------------------------------
     def check_producer_batch(
@@ -263,6 +394,9 @@ class PartitionLog:
             self._producer_ids.append(-1)
             self._producer_epochs.append(-1)
             self._sequences.append(-1)
+        if self._has_txn:
+            self._transactionals.append(False)
+            self._controls.append(None)
         self._size_bytes += size
         return self._record_view(offset - self._base_offset)
 
@@ -305,8 +439,55 @@ class PartitionLog:
             self._producer_ids.extend([-1] * count)
             self._producer_epochs.extend([-1] * count)
             self._sequences.extend([-1] * count)
+        if batch.transactional and producer_id >= 0:
+            self._ensure_txn_columns(len(self._values) - count)
+            self._transactionals.extend([True] * count)
+            self._controls.extend([None] * count)
+            if producer_id not in self._open_txn_first:
+                self._open_txn_first[producer_id] = base_offset
+        elif self._has_txn:
+            self._transactionals.extend([False] * count)
+            self._controls.extend([None] * count)
         self._size_bytes += batch.total_size
         return base_offset
+
+    def append_control(
+        self,
+        producer_id: int,
+        producer_epoch: int,
+        marker: str,
+        timestamp: float,
+        leader_epoch: int,
+    ) -> int:
+        """Append one COMMIT/ABORT control record; returns its offset.
+
+        Control records live in the log like data records (so they replicate
+        and survive elections) but are invisible to consumers.  Landing one
+        closes the producer's open transaction here: the LSO advances, and an
+        abort marker files the transaction's range in the abort index.  The
+        producer-identity columns stay -1 — the marker's identity lives in
+        the control tuple, keeping it out of the sequence-dedup fold that
+        followers run over replicated producer columns.
+        """
+        offset = self.log_end_offset
+        self._note_epoch(leader_epoch, offset)
+        self._keys.append(None)
+        self._values.append(marker)
+        self._sizes.append(CONTROL_RECORD_SIZE)
+        self._timestamps.append(timestamp)
+        self._produced_ats.append(timestamp)
+        self._epochs.append(leader_epoch)
+        self._headers.append(None)
+        if self._has_producers:
+            self._producer_ids.append(-1)
+            self._producer_epochs.append(-1)
+            self._sequences.append(-1)
+        self._ensure_txn_columns(len(self._values) - 1)
+        self._transactionals.append(False)
+        self._controls.append((marker, producer_id, producer_epoch))
+        self._size_bytes += CONTROL_RECORD_SIZE
+        self._note_control(offset, marker, producer_id, producer_epoch)
+        return offset
 
     def append_wire_batch(self, batch: RecordBatch) -> int:
         """Append a batch fetched from a leader (replication path).
@@ -393,6 +574,31 @@ class PartitionLog:
             self._producer_ids.extend([-1] * count)
             self._producer_epochs.extend([-1] * count)
             self._sequences.extend([-1] * count)
+        if batch.transactionals is not None or batch.controls is not None:
+            # Replicated transaction columns: extend them and replay markers /
+            # transaction opens in offset order, so a promoted follower holds
+            # the same LSO, abort index and fencing state as the old leader.
+            self._ensure_txn_columns(len(self._values) - count)
+            transactionals = batch.transactionals or [False] * count
+            controls = batch.controls or [None] * count
+            self._transactionals.extend(transactionals)
+            self._controls.extend(controls)
+            base_offset = batch.base_offset
+            producer_ids = batch.producer_ids
+            for index in range(count):
+                control = controls[index]
+                if control is not None:
+                    marker, producer_id, producer_epoch = control
+                    self._note_control(
+                        base_offset + index, marker, producer_id, producer_epoch
+                    )
+                elif transactionals[index] and producer_ids is not None:
+                    producer_id = producer_ids[index]
+                    if producer_id >= 0 and producer_id not in self._open_txn_first:
+                        self._open_txn_first[producer_id] = base_offset + index
+        elif self._has_txn:
+            self._transactionals.extend([False] * count)
+            self._controls.extend([None] * count)
         self._size_bytes += batch.total_size
         return count
 
@@ -425,6 +631,9 @@ class PartitionLog:
             self._producer_ids.append(record.producer_id)
             self._producer_epochs.append(record.producer_epoch)
             self._sequences.append(record.sequence)
+        if self._has_txn:
+            self._transactionals.append(False)
+            self._controls.append(None)
         self._size_bytes += record.size
 
     # -- reads -------------------------------------------------------------------------
@@ -469,6 +678,18 @@ class PartitionLog:
             producer_ids = self._producer_ids[start:end]
             if not any(pid >= 0 for pid in producer_ids):
                 producer_ids = None
+        # Transaction columns ride replica fetches the same way, so markers
+        # and the transactional bits survive leader elections.
+        transactionals = None
+        controls = None
+        if with_epochs and self._has_txn:
+            transactionals = self._transactionals[start:end]
+            controls = self._controls[start:end]
+            if not any(transactionals) and not any(
+                control is not None for control in controls
+            ):
+                transactionals = None
+                controls = None
         return RecordBatch.from_columns(
             self.topic,
             self.partition,
@@ -488,6 +709,8 @@ class PartitionLog:
             sequences=(
                 self._sequences[start:end] if producer_ids is not None else None
             ),
+            transactionals=transactionals,
+            controls=controls,
             headers=headers if any(headers) else None,
         )
 
@@ -573,6 +796,9 @@ class PartitionLog:
             del self._producer_ids[keep:]
             del self._producer_epochs[keep:]
             del self._sequences[keep:]
+        if self._has_txn:
+            del self._transactionals[keep:]
+            del self._controls[keep:]
         self._size_bytes -= sum(self._sizes[keep:])
         del self._sizes[keep:]
         self.truncated_records += len(discarded)
@@ -586,6 +812,10 @@ class PartitionLog:
             # dedup table must roll back with the log (cold path — faults
             # only).
             self._rebuild_producer_state()
+        if self._has_txn:
+            # Same for the transaction state: a discarded marker re-opens its
+            # transaction, a discarded open re-closes it.
+            self._rebuild_txn_state()
         return discarded
 
     def epoch_start_offset(self, epoch: int) -> Optional[int]:

@@ -27,7 +27,11 @@ from typing import Any, Deque, Dict, List, Optional
 from repro.broker.batch import RecordBatch
 from repro.broker.broker import BROKER_PORT, find_coordinator_host
 from repro.broker.coordinator import COORDINATOR_PORT
-from repro.broker.errors import DeliveryFailed
+from repro.broker.errors import (
+    DeliveryFailed,
+    InvalidTxnStateError,
+    ProducerFencedError,
+)
 from repro.broker.message import ProducerRecord, RecordMetadata
 from repro.network.host import Host
 from repro.network.transport import RequestTimeout, Transport
@@ -56,6 +60,16 @@ class ProducerConfig:
     retry-duplication window whatever the ack level, while *acked implies
     durable* additionally needs ``acks="all"`` (plus KRaft mode under
     partitions), exactly as without idempotence.
+
+    ``transactional_id`` layers transactions on top (implies idempotence):
+    sends must happen between :meth:`Producer.begin_transaction` and
+    :meth:`Producer.commit_transaction` / ``abort_transaction``, partitions
+    register with the coordinator automatically on first send, and commits
+    are atomic across every touched partition for ``read_committed``
+    consumers.  Re-initializing the same transactional id (producer restart)
+    fences the previous instance and aborts its open transaction.
+    ``transaction_timeout`` caps how long a transaction may stay open before
+    the coordinator's sweeper aborts it.
     """
 
     buffer_memory: int = 32 * 1024 * 1024
@@ -69,6 +83,8 @@ class ProducerConfig:
     metadata_refresh_interval: float = 5.0
     max_batch_records: int = 500
     idempotence: bool = False
+    transactional_id: Optional[str] = None
+    transaction_timeout: float = 60.0
 
     def __post_init__(self) -> None:
         if self.buffer_memory <= 0:
@@ -79,6 +95,12 @@ class ProducerConfig:
             raise ValueError("delivery_timeout must be positive")
         if self.acks not in (0, 1, "all"):
             raise ValueError("acks must be 0, 1 or 'all'")
+        if self.transaction_timeout <= 0:
+            raise ValueError("transaction_timeout must be positive")
+        if self.transactional_id:
+            # Transactions are sequence-numbered batches plus markers — the
+            # idempotent machinery is a prerequisite, exactly as in Kafka.
+            self.idempotence = True
 
 
 class PendingRecord:
@@ -190,6 +212,17 @@ class Producer:
         self.producer_epoch = -1
         self._next_sequences: Dict[str, int] = {}
         self.duplicate_acks = 0
+        #: Transaction state: whether a transaction is open, which partitions
+        #: it has registered with the coordinator, whether any record of it
+        #: failed (commit then refuses and aborts), and whether this instance
+        #: was fenced (fatal — every later transactional call raises).
+        self._txn_active = False
+        self._txn_registered: set = set()
+        self._txn_had_failure = False
+        self._txn_fatal = False
+        self._coordinator_host: Optional[str] = None
+        self.transactions_committed = 0
+        self.transactions_aborted = 0
         #: One report per send, appended in sequence order — ``reports[seq]``
         #: is the report for sequence ``seq`` (no side dict needed).
         self.reports: List[DeliveryReport] = []
@@ -218,6 +251,7 @@ class Producer:
     # -- public API ------------------------------------------------------------------
     def send(self, record: ProducerRecord) -> Event:
         """Queue a record for delivery; returns a future firing with RecordMetadata."""
+        self._check_txn_send()
         future = self.sim.event()
         now = self.sim.now
         pending = PendingRecord(
@@ -242,6 +276,7 @@ class Producer:
         accumulator/batch path, respects ``buffer.memory``, and still counts
         in ``records_sent`` / ``records_acked`` / ``records_failed``.
         """
+        self._check_txn_send()
         now = self.sim.now
         pending = PendingRecord(
             record, -1, None, now, -1, fallback=self._partition_fallback
@@ -507,6 +542,8 @@ class Producer:
             base_sequence = self._next_sequences.get(key, 0)
             wire_batch.base_sequence = base_sequence
             self._next_sequences[key] = base_sequence + len(batch)
+            if self._txn_active:
+                wire_batch.transactional = True
         return batch, wire_batch
 
     def _send_batch(self, key: str, batch: List[PendingRecord], wire_batch: RecordBatch):
@@ -515,6 +552,17 @@ class Producer:
         deadline = min(p.enqueued_at for p in batch) + self.config.delivery_timeout
         attempts = 0
         request_size = wire_batch.wire_size + 35
+        if wire_batch.transactional and key not in self._txn_registered:
+            # First send of this transaction to this partition: register it
+            # with the coordinator so end_txn knows where markers go.  Kafka's
+            # AddPartitionsToTxn, issued implicitly from the send path.
+            registered = yield from self._add_partitions_to_txn(key, deadline)
+            if not registered:
+                self._fail_batch(
+                    batch,
+                    reason="producer_fenced" if self._txn_fatal else "transaction_aborted",
+                )
+                return
         while self.running:
             if self.sim.now >= deadline or attempts > self.config.retries:
                 self._fail_batch(batch, reason="delivery timeout")
@@ -609,6 +657,12 @@ class Producer:
         self, batch: List[PendingRecord], reason: str, free_buffer: bool = True
     ) -> None:
         now = self.sim.now
+        if self.config.transactional_id:
+            # A lost record poisons the transaction: commit_transaction will
+            # abort instead of committing a partial write set.
+            self._txn_had_failure = True
+            if reason == "producer_fenced":
+                self._txn_fatal = True
         for pending in batch:
             if free_buffer:
                 self._buffer_used -= pending.record.size
@@ -643,11 +697,16 @@ class Producer:
             if coordinator_host is None:
                 yield self.sim.timeout(self.config.retry_backoff)
                 continue
+            self._coordinator_host = coordinator_host
+            init_request = {"type": "init_producer_id", "name": self.name}
+            if self.config.transactional_id:
+                init_request["transactional_id"] = self.config.transactional_id
+                init_request["transaction_timeout"] = self.config.transaction_timeout
             try:
                 reply = yield from self.transport.request(
                     coordinator_host,
                     COORDINATOR_PORT,
-                    {"type": "init_producer_id", "name": self.name},
+                    init_request,
                     size=48,
                     timeout=min(1.0, self.config.request_timeout),
                 )
@@ -657,6 +716,229 @@ class Producer:
             if reply.get("error") is None:
                 self.producer_id = reply["producer_id"]
                 self.producer_epoch = reply["producer_epoch"]
+
+    # -- transactions ----------------------------------------------------------------------
+    def begin_transaction(self) -> None:
+        """Open a transaction: later sends belong to it until commit/abort."""
+        if not self.config.transactional_id:
+            raise InvalidTxnStateError("producer has no transactional_id")
+        if self._txn_fatal:
+            raise ProducerFencedError(
+                f"transactional id {self.config.transactional_id!r} was fenced"
+            )
+        if self._txn_active:
+            raise InvalidTxnStateError("a transaction is already in progress")
+        self._txn_active = True
+        self._txn_registered = set()
+        self._txn_had_failure = False
+
+    def commit_transaction(self, timeout: Optional[float] = None):
+        """Generator: flush, then atomically commit the open transaction.
+
+        Returns only after the coordinator completed the marker fan-out —
+        every record of the transaction is then visible to ``read_committed``
+        consumers.  Raises :class:`DeliveryFailed` if any record of the
+        transaction failed (the transaction is aborted instead) or the
+        timeout expires, and :class:`ProducerFencedError` if a newer instance
+        took over the transactional id.
+        """
+        yield from self._end_transaction("commit", timeout)
+
+    def abort_transaction(self, timeout: Optional[float] = None):
+        """Generator: flush in-flight sends, then abort the open transaction."""
+        yield from self._end_transaction("abort", timeout)
+
+    def in_transaction(self) -> bool:
+        return self._txn_active
+
+    def _check_txn_send(self) -> None:
+        if self.config.transactional_id and not self._txn_active:
+            raise InvalidTxnStateError(
+                "transactional producer requires begin_transaction() before send"
+            )
+
+    def _end_transaction(self, outcome: str, timeout: Optional[float]):
+        if not self.config.transactional_id:
+            raise InvalidTxnStateError("producer has no transactional_id")
+        if not self._txn_active:
+            raise InvalidTxnStateError(f"no open transaction to {outcome}")
+        if self._txn_fatal:
+            self._txn_active = False
+            raise ProducerFencedError(
+                f"transactional id {self.config.transactional_id!r} was fenced"
+            )
+        deadline = self.sim.now + (
+            timeout if timeout is not None else self.config.delivery_timeout
+        )
+        # Flush barrier: every record of the transaction must be acknowledged
+        # (or failed) before the outcome is decided.
+        while (self.flush_pending() or self._in_flight) and not self._txn_fatal:
+            if self.sim.now >= deadline:
+                if outcome == "commit":
+                    yield from self._force_abort()
+                    raise DeliveryFailed(
+                        "transaction flush timed out before commit; aborted"
+                    )
+                break
+            yield self.sim.timeout(0.01)
+        if self._txn_fatal:
+            self._txn_active = False
+            raise ProducerFencedError(
+                f"transactional id {self.config.transactional_id!r} was fenced"
+            )
+        if outcome == "commit" and self._txn_had_failure:
+            # Some record of the transaction was never appended: committing
+            # would expose a torn write set.  Abort and surface the failure.
+            yield from self._send_end_txn("abort", deadline)
+            self._txn_active = False
+            self.transactions_aborted += 1
+            raise DeliveryFailed(
+                "records failed during the transaction; aborted instead of committed"
+            )
+        if not self._txn_registered:
+            # Nothing was sent (or nothing reached a partition): no markers
+            # to write — the transaction completes locally.
+            self._txn_active = False
+            if outcome == "commit":
+                self.transactions_committed += 1
+            else:
+                self.transactions_aborted += 1
+            return
+        result = yield from self._send_end_txn(outcome, deadline)
+        self._txn_active = False
+        if result == "fenced":
+            raise ProducerFencedError(
+                f"transactional id {self.config.transactional_id!r} was fenced"
+            )
+        if result == "ok":
+            if outcome == "commit":
+                self.transactions_committed += 1
+            else:
+                self.transactions_aborted += 1
+            return
+        if outcome == "commit":
+            # The coordinator refused the commit (its timeout sweeper or a
+            # fencing re-init aborted the transaction first) or the deadline
+            # expired mid-handshake.
+            raise DeliveryFailed(f"transaction commit did not complete ({result})")
+        self.transactions_aborted += 1
+
+    def _force_abort(self):
+        """Abandon a transaction whose flush never completed (best effort).
+
+        Unsent records fail immediately; in-flight requests get a short grace
+        to settle so same-epoch stragglers cannot land after the abort marker.
+        """
+        grace = self.sim.now + self.config.request_timeout + self.config.retry_backoff
+        while self._in_flight and self.sim.now < grace:
+            yield self.sim.timeout(0.01)
+        for key, queue in list(self._accumulator.items()):
+            stranded = list(queue)
+            queue.clear()
+            self._queued_bytes[key] = 0
+            if stranded:
+                self._fail_batch(stranded, reason="transaction_aborted")
+        waiting = self._waiting_for_buffer
+        self._waiting_for_buffer = []
+        if waiting:
+            self._fail_batch(waiting, reason="transaction_aborted", free_buffer=False)
+        if self._txn_registered:
+            yield from self._send_end_txn("abort", self.sim.now + 10.0)
+        self._txn_active = False
+        self.transactions_aborted += 1
+
+    def _txn_coordinator(self):
+        """Generator: the coordinator's host (cached from the init handshake)."""
+        if self._coordinator_host is not None:
+            return self._coordinator_host
+        coordinator_host = yield from find_coordinator_host(
+            self.transport,
+            self.bootstrap,
+            timeout=min(1.0, self.config.request_timeout),
+        )
+        self._coordinator_host = coordinator_host
+        return coordinator_host
+
+    def _add_partitions_to_txn(self, key: str, deadline: float):
+        """Generator: register one partition with the current transaction.
+
+        Returns True on success; False when fenced (fatal) or the deadline
+        expired.  ``invalid_txn_state`` (the previous transaction is still
+        completing its marker fan-out) is retried.
+        """
+        while self.running and self.sim.now < deadline:
+            coordinator_host = yield from self._txn_coordinator()
+            if coordinator_host is None:
+                yield self.sim.timeout(self.config.retry_backoff)
+                continue
+            try:
+                reply = yield from self.transport.request(
+                    coordinator_host,
+                    COORDINATOR_PORT,
+                    {
+                        "type": "add_partitions_to_txn",
+                        "transactional_id": self.config.transactional_id,
+                        "producer_id": self.producer_id,
+                        "producer_epoch": self.producer_epoch,
+                        "partitions": [key],
+                    },
+                    size=64,
+                    timeout=min(1.0, self.config.request_timeout),
+                )
+            except RequestTimeout:
+                yield self.sim.timeout(self.config.retry_backoff)
+                continue
+            error = reply.get("error")
+            if error is None:
+                self._txn_registered.add(key)
+                return True
+            if error == "producer_fenced":
+                self._txn_fatal = True
+                return False
+            yield self.sim.timeout(self.config.retry_backoff)
+        return False
+
+    def _send_end_txn(self, outcome: str, deadline: float):
+        """Generator: drive the coordinator's end_txn to completion.
+
+        Returns ``"ok"``, ``"fenced"``, ``"invalid"`` (the coordinator's
+        state machine refused — e.g. the transaction was already aborted) or
+        ``"timeout"``.  Safe to retry: end_txn is idempotent coordinator-side.
+        """
+        while self.running:
+            if self.sim.now >= deadline:
+                return "timeout"
+            coordinator_host = yield from self._txn_coordinator()
+            if coordinator_host is None:
+                yield self.sim.timeout(self.config.retry_backoff)
+                continue
+            try:
+                reply = yield from self.transport.request(
+                    coordinator_host,
+                    COORDINATOR_PORT,
+                    {
+                        "type": "end_txn",
+                        "transactional_id": self.config.transactional_id,
+                        "producer_id": self.producer_id,
+                        "producer_epoch": self.producer_epoch,
+                        "outcome": outcome,
+                    },
+                    size=64,
+                    timeout=self.config.request_timeout,
+                )
+            except RequestTimeout:
+                yield self.sim.timeout(self.config.retry_backoff)
+                continue
+            error = reply.get("error")
+            if error is None:
+                return "ok"
+            if error == "producer_fenced":
+                self._txn_fatal = True
+                return "fenced"
+            if error == "invalid_txn_state":
+                return "invalid"
+            yield self.sim.timeout(self.config.retry_backoff)
+        return "invalid"
 
     # -- metadata ---------------------------------------------------------------------------
     def _leader_host(self, key: str) -> Optional[str]:

@@ -135,6 +135,13 @@ class ProducerStubConfig:
     #: producer initializes a coordinator-allocated id and brokers drop
     #: duplicate retries (see ``docs/exactly_once.md``).
     idempotence: bool = False
+    #: Transactional produce path (``transactionalId`` in YAML): the stub
+    #: groups its output into atomic transactions of ``transaction_batch``
+    #: records each (implies idempotence).  The stub suffixes its own name,
+    #: so several stubs sharing one scenario-level id never fence each other.
+    transactional_id: Optional[str] = None
+    #: Records per committed transaction when ``transactional_id`` is set.
+    transaction_batch: int = 20
     start_delay: float = 0.0
     #: Dict field of each produced item to use as the record key (``keyField``
     #: in YAML).  Keyed records hash to a stable partition, so multi-partition
@@ -168,6 +175,12 @@ class ProducerStubConfig:
             buffer_memory=_size_to_bytes(data.get("bufferMemory"), 32 * 1024 * 1024),
             acks=data.get("acks", 1),
             idempotence=bool(data.get("idempotence", data.get("idempotent", False))),
+            transactional_id=(
+                data.get("transactionalId") or data.get("transactional_id")
+            ),
+            transaction_batch=int(
+                data.get("transactionBatch", data.get("transaction_batch", 20))
+            ),
             start_delay=_duration_to_seconds(data.get("startDelay"), 0.0),
             key_field=data.get("keyField") or data.get("key_field"),
         )
@@ -187,6 +200,10 @@ class ConsumerStubConfig:
     store_table: str = "results"
     poll_interval: float = 0.05
     keep_payloads: bool = True
+    #: ``read_uncommitted`` (default) or ``read_committed`` — the latter only
+    #: delivers records of committed transactions (``isolationLevel`` in
+    #: YAML; see ``docs/exactly_once.md``).
+    isolation_level: str = "read_uncommitted"
     start_delay: float = 0.0
 
     @classmethod
@@ -202,6 +219,9 @@ class ConsumerStubConfig:
             store_table=data.get("storeTable", "results"),
             poll_interval=_duration_to_seconds(data.get("pollInterval"), 0.05),
             keep_payloads=bool(data.get("keepPayloads", True)),
+            isolation_level=str(
+                data.get("isolationLevel", data.get("isolation_level", "read_uncommitted"))
+            ),
             start_delay=_duration_to_seconds(data.get("startDelay"), 0.0),
         )
 

@@ -106,10 +106,29 @@ class KafkaSource(Source):
         self.host = host
 
     def _on_wire_batch(
-        self, topic: str, partition: int, batch: RecordBatch, received_at: float
+        self,
+        topic: str,
+        partition: int,
+        batch: RecordBatch,
+        received_at: float,
+        skip=None,
     ) -> None:
-        """Decode one fetched batch straight into pending stream records."""
+        """Decode one fetched batch straight into pending stream records.
+
+        ``skip`` holds offsets the consumer marked invisible (transaction
+        control markers and, under ``read_committed``, aborted records) —
+        they ship inside the contiguous wire batch but must never enter the
+        stream."""
         pending = self._pending
+        if skip:
+            ingested = 0
+            for offset, key, value, size, produced_at in batch.iter_records():
+                if offset in skip:
+                    continue
+                pending.append(StreamRecord(value, key, produced_at, received_at, size))
+                ingested += 1
+            self.records_ingested += ingested
+            return
         keys = batch.keys
         sizes = batch.sizes
         produced_ats = batch.produced_ats

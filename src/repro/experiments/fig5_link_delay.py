@@ -49,6 +49,10 @@ class Fig5Config:
     partitions: int = 1
     #: Exactly-once produce path for the document source (broker-side dedup).
     idempotence: bool = False
+    #: Transactional produce path (atomic batches; implies idempotence).
+    transactional_id: str = ""
+    #: ``read_committed`` delivers only committed transactions downstream.
+    isolation_level: str = "read_uncommitted"
     seed: int = 1
 
 
@@ -108,6 +112,8 @@ def run_single(component: str, delay_ms: float, config: Fig5Config) -> List[floa
         files_per_second=config.files_per_second,
         partitions=config.partitions,
         idempotence=config.idempotence,
+        transactional_id=config.transactional_id or None,
+        isolation_level=config.isolation_level,
     )
     # Pre-generated: every sweep point replays the identical seeded corpus,
     # so synthesis runs once for the whole figure.

@@ -77,6 +77,10 @@ class Fig6Config:
     #: ZooKeeper-mode silent loss (truncation) is a different hole and stays
     #: visible with idempotence on.
     idempotence: bool = False
+    #: Transactional produce path (atomic batches; implies idempotence).
+    transactional_id: str = ""
+    #: ``read_committed`` delivers only committed transactions downstream.
+    isolation_level: str = "read_uncommitted"
 
 
 @dataclass
@@ -161,6 +165,7 @@ def run_fig6(config: Optional[Fig6Config] = None) -> Fig6Result:
         message_size=config.message_size,
         rate_kbps=config.rate_kbps,
         idempotence=config.idempotence,
+        transactional_id=config.transactional_id or None,
     )
     producers = {}
     consumers = {}
@@ -172,7 +177,11 @@ def run_fig6(config: Optional[Fig6Config] = None) -> Fig6Result:
         producers[site] = stub
         consumers[site] = cluster.create_consumer(
             site,
-            config=ConsumerConfig(poll_interval=0.1, keep_payloads=True),
+            config=ConsumerConfig(
+                poll_interval=0.1,
+                keep_payloads=True,
+                isolation_level=config.isolation_level,
+            ),
             name=f"cons-{site}",
         )
         consumers[site].subscribe([TOPIC_A, TOPIC_B])

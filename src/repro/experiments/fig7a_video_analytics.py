@@ -46,6 +46,10 @@ class Fig7aConfig:
     partitions: int = 1
     #: Exactly-once produce path for the frame producer.
     idempotence: bool = False
+    #: Transactional produce path (atomic batches; implies idempotence).
+    transactional_id: str = ""
+    #: ``read_committed`` delivers only committed transactions downstream.
+    isolation_level: str = "read_uncommitted"
     seed: int = 5
 
 
@@ -94,6 +98,7 @@ def run_single(n_consumers: int, config: Fig7aConfig) -> Dict[str, object]:
             buffer_memory=64 * 1024 * 1024,
             linger=0.005,
             idempotence=config.idempotence,
+            transactional_id=config.transactional_id or None,
         ),
         name="frame-producer",
     )
@@ -107,6 +112,7 @@ def run_single(n_consumers: int, config: Fig7aConfig) -> Dict[str, object]:
                 max_records_per_fetch=500,
                 keep_payloads=False,
                 cpu_per_record=config.consumer_cpu_per_frame,
+                isolation_level=config.isolation_level,
             ),
             name=f"frame-consumer-{index}",
         )
@@ -117,17 +123,27 @@ def run_single(n_consumers: int, config: Fig7aConfig) -> Dict[str, object]:
 
     def produce_all():
         producer.start()
-        for frame in frames:
+        # Transactional preload commits in chunks so no single transaction
+        # outlives the coordinator's transaction timeout.
+        txn_chunk = 2000
+        if config.transactional_id:
+            producer.begin_transaction()
+        for index, frame in enumerate(frames):
             # Fire-and-forget: the experiment only watches records_acked.
             producer.send_noreport(
                 ProducerRecord(
                     topic="frames", key=frame["frame_id"], value=frame, size=frame["size"]
                 )
             )
+            if config.transactional_id and (index + 1) % txn_chunk == 0:
+                yield from producer.commit_transaction()
+                producer.begin_transaction()
         # Wait until the broker has everything before consumers subscribe —
         # exactly the methodology of the original experiment (no data stalls).
         while producer.records_acked < len(frames):
             yield sim.timeout(0.2)
+        if config.transactional_id:
+            yield from producer.commit_transaction()
         consume_start["time"] = sim.now
         for consumer in consumers:
             consumer.start()

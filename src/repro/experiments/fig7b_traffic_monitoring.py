@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.broker.cluster import BrokerCluster, ClusterConfig
+from repro.broker.consumer import ConsumerConfig
 from repro.broker.message import ProducerRecord
 from repro.broker.producer import Producer, ProducerConfig
 from repro.broker.topic import TopicConfig
@@ -49,6 +50,10 @@ class Fig7bConfig:
     partitions: int = 1
     #: Exactly-once produce path for the mirror producer.
     idempotence: bool = False
+    #: Transactional produce path (atomic batches; implies idempotence).
+    transactional_id: str = ""
+    #: ``read_committed`` delivers only committed transactions downstream.
+    isolation_level: str = "read_uncommitted"
     seed: int = 11
 
 
@@ -119,21 +124,32 @@ def run_single(n_users: int, config: Fig7bConfig) -> Dict[str, float]:
             for service_id, entry in by_service.items()
         }
 
+    # Only a non-default isolation level overrides the sources' own consumer
+    # defaults, so the default path stays untouched.
+    consumer_config = (
+        ConsumerConfig(isolation_level=config.isolation_level)
+        if config.isolation_level != "read_uncommitted"
+        else None
+    )
     if config.partitions > 1:
         # Partition-aware ingest: one source instance per partition, merged
         # deterministically in partition order at each micro-batch boundary.
         stream = ctx.sharded_kafka_stream(
-            "mirrored-packets", partitions=list(range(config.partitions))
+            "mirrored-packets",
+            partitions=list(range(config.partitions)),
+            consumer_config=consumer_config,
         )
     else:
-        stream = ctx.kafka_stream(["mirrored-packets"])
+        stream = ctx.kafka_stream(["mirrored-packets"], consumer_config=consumer_config)
     sink = stream.map(summarize).to_memory(keep_records=False)
 
     producer = Producer(
         network.host("mirror"),
         bootstrap=["broker"],
         config=ProducerConfig(
-            buffer_memory=64 * 1024 * 1024, idempotence=config.idempotence
+            buffer_memory=64 * 1024 * 1024,
+            idempotence=config.idempotence,
+            transactional_id=config.transactional_id or None,
         ),
         name="mirror-producer",
     )
@@ -153,7 +169,11 @@ def run_single(n_users: int, config: Fig7bConfig) -> Dict[str, float]:
             # One mirrored report per user per second (the per-switch sFlow-style
             # export used by the original system), sized by its packet volume.
             # The batch already groups packets by user with byte totals, so no
-            # per-packet work happens inside the simulation loop.
+            # per-packet work happens inside the simulation loop.  With a
+            # transactional id, each one-second export slot is one atomic
+            # transaction.
+            if config.transactional_id:
+                producer.begin_transaction()
             for key, value, size in slot.iter_keyed_reports():
                 # Fire-and-forget: the mirror never reads delivery outcomes,
                 # so skip the per-record future/report allocation entirely.
@@ -167,6 +187,8 @@ def run_single(n_users: int, config: Fig7bConfig) -> Dict[str, float]:
                         size=size,
                     )
                 )
+            if config.transactional_id:
+                yield from producer.commit_transaction()
             yield sim.timeout(1.0)
 
     sim.process(drive())

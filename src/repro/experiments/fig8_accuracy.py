@@ -71,6 +71,10 @@ class Fig8Config:
     partitions: int = 1
     #: Exactly-once produce path for the document source.
     idempotence: bool = False
+    #: Transactional produce path (atomic batches; implies idempotence).
+    transactional_id: str = ""
+    #: ``read_committed`` delivers only committed transactions downstream.
+    isolation_level: str = "read_uncommitted"
     seed: int = 2
 
 
@@ -125,6 +129,8 @@ def run_single(
         files_per_second=config.files_per_second,
         partitions=config.partitions,
         idempotence=config.idempotence,
+        transactional_id=config.transactional_id or None,
+        isolation_level=config.isolation_level,
     )
     # Pre-generated: the (component, delay, profile) sweep replays one corpus.
     documents = pregenerated(generate_documents, config.n_documents, seed=config.seed)

@@ -49,6 +49,10 @@ class Fig9Config:
     partitions: int = 1
     #: Exactly-once produce path for the site producers.
     idempotence: bool = False
+    #: Transactional produce path (atomic batches; implies idempotence).
+    transactional_id: str = ""
+    #: ``read_committed`` delivers only committed transactions downstream.
+    isolation_level: str = "read_uncommitted"
     seed: int = 4
 
 
@@ -114,6 +118,7 @@ def run_single(n_sites: int, buffer_size: int, config: Fig9Config) -> ResourceRe
         rate_kbps=config.rate_kbps,
         buffer_memory=buffer_size,
         idempotence=config.idempotence,
+        transactional_id=config.transactional_id or None,
     )
     producer_stubs = []
     for site in sites:
@@ -122,7 +127,11 @@ def run_single(n_sites: int, buffer_size: int, config: Fig9Config) -> ResourceRe
         )
         consumer = cluster.create_consumer(
             site,
-            config=ConsumerConfig(poll_interval=0.1, keep_payloads=False),
+            config=ConsumerConfig(
+                poll_interval=0.1,
+                keep_payloads=False,
+                isolation_level=config.isolation_level,
+            ),
             name=f"cons-{site}",
         )
         consumer.subscribe(["topicA", "topicB"])

@@ -51,6 +51,10 @@ class Table2Config:
     partitions: int = 1
     #: Exactly-once produce path for every app's ingestion producer.
     idempotence: bool = False
+    #: Transactional produce path (atomic batches; implies idempotence).
+    transactional_id: str = ""
+    #: ``read_committed`` delivers only committed transactions downstream.
+    isolation_level: str = "read_uncommitted"
     seed: int = 1
 
 
@@ -94,6 +98,8 @@ def _run_application(name: str, config: Table2Config) -> Dict[str, object]:
             n_documents=config.n_items, duration=config.duration, seed=config.seed,
             files_per_second=10.0, partitions=config.partitions,
             idempotence=config.idempotence,
+            transactional_id=config.transactional_id or None,
+            isolation_level=config.isolation_level,
         )
         return {"consumed": result.messages_consumed, "verified": result.messages_consumed > 0}
     if name == "ride_selection":
@@ -101,6 +107,8 @@ def _run_application(name: str, config: Table2Config) -> Dict[str, object]:
             n_rides=config.n_items, duration=config.duration, seed=config.seed,
             rides_per_second=15.0, partitions=config.partitions,
             idempotence=config.idempotence,
+            transactional_id=config.transactional_id or None,
+            isolation_level=config.isolation_level,
         )
         return {
             "consumed": result.messages_consumed,
@@ -111,6 +119,8 @@ def _run_application(name: str, config: Table2Config) -> Dict[str, object]:
             n_tweets=config.n_items, duration=config.duration, seed=config.seed,
             tweets_per_second=15.0, partitions=config.partitions,
             idempotence=config.idempotence,
+            transactional_id=config.transactional_id or None,
+            isolation_level=config.isolation_level,
         )
         return {
             "consumed": result.extras.get("scored_tweets", 0),
@@ -121,6 +131,8 @@ def _run_application(name: str, config: Table2Config) -> Dict[str, object]:
             n_messages=config.n_items, duration=config.duration, seed=config.seed,
             messages_per_second=15.0, partitions=config.partitions,
             idempotence=config.idempotence,
+            transactional_id=config.transactional_id or None,
+            isolation_level=config.isolation_level,
         )
         return {
             "consumed": result.spe_metrics.get("h3", {}).get("input_records", 0),
@@ -131,6 +143,8 @@ def _run_application(name: str, config: Table2Config) -> Dict[str, object]:
             n_transactions=config.n_items, duration=config.duration, seed=config.seed,
             fraud_rate=0.2, transactions_per_second=15.0, partitions=config.partitions,
             idempotence=config.idempotence,
+            transactional_id=config.transactional_id or None,
+            isolation_level=config.isolation_level,
         )
         return {
             "consumed": result.messages_consumed,

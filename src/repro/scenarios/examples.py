@@ -44,6 +44,12 @@ class QuickstartConfig:
     #: Exactly-once produce path (``--set idempotence=true``): the document
     #: source carries sequence numbers and brokers drop duplicate retries.
     idempotence: bool = False
+    #: Transactional produce path (``--set transactional_id=tx1``): the
+    #: document source commits atomic batches; implies idempotence.
+    transactional_id: str = ""
+    #: ``--set isolation_level=read_committed`` makes the sink deliver only
+    #: committed transactions (meaningful with ``transactional_id``).
+    isolation_level: str = "read_uncommitted"
     seed: int = 42
 
 
@@ -56,6 +62,8 @@ def run_quickstart(config: QuickstartConfig) -> Dict[str, Any]:
         link_latency_ms=config.link_latency_ms,
         partitions=config.partitions,
         idempotence=config.idempotence,
+        transactional_id=config.transactional_id or None,
+        isolation_level=config.isolation_level,
     )
     documents = pregenerated(generate_documents, config.n_documents, seed=config.seed)
     emulation = Emulation(task, seed=config.seed, datasets={"documents": documents})
@@ -172,6 +180,12 @@ class GraphmlTaskConfig:
     #: ``True`` switches every producer of the listing to the exactly-once
     #: produce path (a ``prodCfg`` may also declare ``idempotence`` inline).
     idempotence: bool = False
+    #: Non-empty switches every producer of the listing to the transactional
+    #: produce path (a ``prodCfg`` may also declare ``transactionalId``).
+    transactional_id: str = ""
+    #: Applied to every consumer of the listing (``consCfg`` may also declare
+    #: ``isolationLevel`` inline).
+    isolation_level: str = "read_uncommitted"
     seed: int = 7
 
 
@@ -185,6 +199,16 @@ def run_graphml_task(config: GraphmlTaskConfig) -> Dict[str, Any]:
             prod_cfg = node.attributes.get("prodCfg")
             if isinstance(prod_cfg, dict):
                 prod_cfg["idempotence"] = True
+    if config.transactional_id:
+        for node in task.nodes.values():
+            prod_cfg = node.attributes.get("prodCfg")
+            if isinstance(prod_cfg, dict):
+                prod_cfg["transactionalId"] = config.transactional_id
+    if config.isolation_level != "read_uncommitted":
+        for node in task.nodes.values():
+            cons_cfg = node.attributes.get("consCfg")
+            if isinstance(cons_cfg, dict):
+                cons_cfg["isolationLevel"] = config.isolation_level
     problems = task.validate()
     documents = pregenerated(generate_documents, config.n_documents, seed=config.seed)
     emulation = Emulation(task, seed=config.seed, datasets={"documents": documents})
@@ -322,6 +346,12 @@ class FraudPipelineConfig:
     partitions: int = 1
     #: Exactly-once produce path for the transaction source.
     idempotence: bool = False
+    #: Transactional produce path for the transaction source (atomic batches
+    #: of card transactions; implies idempotence).
+    transactional_id: str = ""
+    #: ``read_committed`` makes the alert sink deliver only committed
+    #: transactions.
+    isolation_level: str = "read_uncommitted"
     seed: int = 13
 
 
@@ -336,6 +366,8 @@ def run_fraud_pipeline(config: FraudPipelineConfig) -> Dict[str, Any]:
         transactions_per_second=config.transactions_per_second,
         partitions=config.partitions,
         idempotence=config.idempotence,
+        transactional_id=config.transactional_id or None,
+        isolation_level=config.isolation_level,
     )
     alerts = result.extras["alerts"]
     true_positives = result.extras["true_positive_alerts"]

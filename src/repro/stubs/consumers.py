@@ -30,6 +30,7 @@ class ConsumerStub:
             config=ConsumerConfig(
                 poll_interval=self.config.poll_interval,
                 keep_payloads=self.config.keep_payloads,
+                isolation_level=self.config.isolation_level,
             ),
             name=f"{self.name}-consumer",
             on_record=self._on_record,

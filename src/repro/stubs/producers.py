@@ -33,6 +33,14 @@ class ProducerStub:
         self.host_name = host_name
         self.config = config or ProducerStubConfig()
         self.name = name or f"{type(self).__name__}-{host_name}"
+        # Transactional ids must be unique per producer instance (a shared id
+        # would fence sibling stubs), so a scenario-level id is suffixed with
+        # the stub's own name.
+        transactional_id = (
+            f"{self.config.transactional_id}-{self.name}"
+            if self.config.transactional_id
+            else None
+        )
         self.producer: Producer = cluster.create_producer(
             host_name,
             config=ProducerConfig(
@@ -40,11 +48,14 @@ class ProducerStub:
                 request_timeout=self.config.request_timeout,
                 acks=self.config.acks,
                 idempotence=self.config.idempotence,
+                transactional_id=transactional_id,
             ),
             name=f"{self.name}-producer",
         )
         self.messages_produced = 0
         self.bytes_produced = 0
+        self.transactions_committed = 0
+        self._txn_pending = 0
         self.running = False
 
     # -- lifecycle ----------------------------------------------------------------
@@ -53,7 +64,11 @@ class ProducerStub:
             return
         self.running = True
         self.producer.start()
-        self.sim.process(self._run(), name=f"{self.name}:driver")
+        self.sim.process(self._driver(), name=f"{self.name}:driver")
+
+    def _driver(self):
+        yield from self._run()
+        yield from self._txn_finish()
 
     def stop(self) -> None:
         self.running = False
@@ -75,9 +90,44 @@ class ProducerStub:
             key=key,
             size=size if size is not None else estimate_size(value),
         )
+        if self.config.transactional_id and not self.producer.in_transaction():
+            self.producer.begin_transaction()
         self.messages_produced += 1
         self.bytes_produced += record.size
-        return self.producer.send(record)
+        future = self.producer.send(record)
+        if self.config.transactional_id:
+            self._txn_pending += 1
+        return future
+
+    def _txn_pulse(self):
+        """Generator: commit the open transaction every ``transaction_batch``
+        sends.  A no-op (no simulation events) without a transactional id, so
+        non-transactional runs stay event-for-event identical."""
+        if not self.config.transactional_id:
+            return
+        if self._txn_pending >= self.config.transaction_batch:
+            yield from self._txn_commit()
+
+    def _txn_finish(self):
+        """Generator: commit whatever the driver left open when it finished."""
+        if self.config.transactional_id and self.producer.in_transaction():
+            yield from self._txn_commit()
+
+    def _txn_commit(self):
+        from repro.broker.errors import DeliveryFailed, ProducerFencedError
+
+        self._txn_pending = 0
+        try:
+            yield from self.producer.commit_transaction()
+            self.transactions_committed += 1
+        except DeliveryFailed:
+            # The transaction aborted (some record failed); the stub keeps
+            # producing — the next send begins a fresh transaction.
+            pass
+        except ProducerFencedError:
+            # A successor took over this transactional id: this instance is
+            # permanently dead.
+            self.running = False
 
 
 class SFSTProducerStub(ProducerStub):
@@ -109,6 +159,7 @@ class SFSTProducerStub(ProducerStub):
                 return
             item = self.items[index % len(self.items)] if self.items else index
             self._send(self.config.topic, item, key=index)
+            yield from self._txn_pulse()
             if interval > 0:
                 yield self.sim.timeout(interval)
             else:
@@ -140,6 +191,7 @@ class DirectoryProducerStub(ProducerStub):
                 return
             file_name, contents = self.files[index % len(self.files)]
             self._send(self.config.topic, contents, key=file_name)
+            yield from self._txn_pulse()
             if interval > 0:
                 yield self.sim.timeout(interval)
             else:
@@ -177,6 +229,7 @@ class RandomRateProducerStub(ProducerStub):
             key = f"{self.host_name}:{self._sequence}"
             self._sequence += 1
             self._send(topic, {"seq": key, "host": self.host_name}, key=key, size=size)
+            yield from self._txn_pulse()
             yield self.sim.timeout(self._rng.jitter(interval, 0.05))
 
 
@@ -205,3 +258,4 @@ class ReplayProducerStub(ProducerStub):
             if gap > 0:
                 yield self.sim.timeout(gap)
             self._send(self.config.topic, value, key=index)
+            yield from self._txn_pulse()

@@ -21,6 +21,18 @@ The workload encodes a per-key sequence into every record value (key
 ``k<j>`` carries values ``0, 1, 2, ...``), so "no duplicate ``(key,
 sequence)`` in any partition log" and "per-key order preserved" are direct
 column scans over the logs.
+
+A second driver, :func:`run_chaos_txn_produce`, exercises the transactional
+layer: a transactional producer groups records into fixed-size transactions,
+deliberately aborts one, and suffers a profile-specific mid-transaction
+fault (producer kill + successor takeover, transaction-coordinator outage,
+or partition-leader failover).  Its checkers are *consumer-side* — under
+``read_committed`` every committed transaction must be observed atomically
+and no aborted record may surface, while the same seeds replayed under
+``read_uncommitted`` expose the torn/aborted writes (the control arm).  The
+log-scan checkers above are intentionally *not* reused for transactional
+runs: an aborted-then-retried transaction legitimately stores two copies of
+the same logical record in the log (one fenced/aborted, one committed).
 """
 
 from __future__ import annotations
@@ -31,6 +43,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.broker.cluster import BrokerCluster, ClusterConfig
 from repro.broker.consumer import Consumer, ConsumerConfig
 from repro.broker.coordinator import CoordinationMode
+from repro.broker.errors import DeliveryFailed, ProducerFencedError
 from repro.broker.message import ProducerRecord
 from repro.broker.producer import Producer, ProducerConfig
 from repro.broker.topic import TopicConfig
@@ -408,3 +421,378 @@ def run_chaos_produce(
         duplicates_dropped=cluster.total_duplicates_dropped(),
         duplicate_acks=producer.duplicate_acks,
     )
+
+
+# ---------------------------------------------------------------------------
+# Transactional chaos: atomic commits under producer/coordinator/leader faults
+# ---------------------------------------------------------------------------
+#: Fault shapes :func:`run_chaos_txn_produce` understands.  Each injects its
+#: fault *mid-transaction* — after half of one transaction's records have
+#: been sent and (some) partitions registered, before end_txn.
+TXN_CHAOS_PROFILES = ("producer-kill", "coordinator-kill", "leader-failover")
+
+
+@dataclass
+class TxnChaosResult:
+    """Evidence from one transactional chaos run.
+
+    ``committed_txns`` are transaction indices whose ``commit_transaction``
+    returned cleanly; ``aborted_txns`` were deliberately (or provably)
+    aborted.  ``uncertain_txns`` are commits that raised — the coordinator
+    may or may not have completed them, so the checkers require nothing of
+    their records in either direction (the matrix runs keep this set empty;
+    it exists so the harness never lies under an unlucky schedule).
+    """
+
+    profile: str
+    seed: int
+    cluster: BrokerCluster
+    producers: List[Producer]
+    consumers: List[Consumer]
+    topic: str
+    isolation: str
+    n_txns: int
+    txn_size: int
+    n_keys: int
+    committed_txns: List[int] = field(default_factory=list)
+    aborted_txns: List[int] = field(default_factory=list)
+    uncertain_txns: List[int] = field(default_factory=list)
+
+    def txn_idents(self, txn: int) -> List[tuple]:
+        """The ``(key, per-key sequence)`` identities transaction ``txn`` wrote."""
+        base = txn * self.txn_size
+        return [
+            (f"k{i % self.n_keys}", i // self.n_keys)
+            for i in range(base, base + self.txn_size)
+        ]
+
+    def invariant_violations(self) -> List[str]:
+        """All read_committed invariants, as one flat list of violations.
+
+        Member-level exactly-once/order checks only apply to standalone
+        consumers: a group member that loses its partitions in a rebalance
+        legitimately re-reads from the committed offset (at-least-once), so
+        per-member duplicates there are not a transactional violation.
+        """
+        problems = check_txn_atomicity(self)
+        problems += check_committed_per_key_order(self.cluster, self.topic)
+        standalone = [c for c in self.consumers if c.config.group is None]
+        problems += check_consumed_exactly_once(standalone)
+        problems += check_consumed_per_key_order(standalone)
+        return problems
+
+
+def check_txn_atomicity(result: TxnChaosResult) -> List[str]:
+    """All-or-nothing per transaction, and nothing outside committed ones.
+
+    Every committed transaction's records must appear in the group's
+    consumed union, and nothing consumed may belong to an aborted (or never
+    committed) transaction.  Uses the chaos workload encoding: global record
+    index ``i`` maps bijectively to ``(k<i % n_keys>, i // n_keys)``, so
+    identities are unique across transactions.
+    """
+    problems = []
+    consumed: Set[tuple] = set()
+    for consumer in result.consumers:
+        for record in consumer.received:
+            consumed.add((record.key, record.value))
+    committed_idents: Set[tuple] = set()
+    for txn in result.committed_txns:
+        idents = result.txn_idents(txn)
+        committed_idents.update(idents)
+        missing = [ident for ident in idents if ident not in consumed]
+        if missing:
+            problems.append(
+                f"torn transaction {txn}: committed records {missing!r} "
+                f"never consumed"
+            )
+    allowed = committed_idents | {
+        ident
+        for txn in result.uncertain_txns
+        for ident in result.txn_idents(txn)
+    }
+    flagged: Set[tuple] = set()
+    for consumer in result.consumers:
+        for record in consumer.received:
+            ident = (record.key, record.value)
+            if ident not in allowed and ident not in flagged:
+                flagged.add(ident)
+                problems.append(
+                    f"consumed {ident!r}, which no committed transaction wrote"
+                )
+    return problems
+
+
+def check_committed_per_key_order(cluster: BrokerCluster, topic: str) -> List[str]:
+    """Committed records keep per-key order in every current leader log.
+
+    The transactional variant of :func:`check_per_key_order`: control
+    records, aborted-transaction data and still-open transactions are
+    excluded (an aborted attempt legitimately repeats values a later
+    committed retry re-writes), and only what a read_committed consumer
+    would see must be increasing per key.
+    """
+    problems = []
+    for broker, key, log in _topic_logs(cluster, topic):
+        if not broker._is_leader(key):
+            continue
+        stable = log.last_stable_offset
+        if log.has_transactions:
+            skip, _ = log.invisible_offsets(0, stable, "read_committed")
+            skip_set = frozenset(skip)
+        else:
+            skip_set = frozenset()
+        last_by_key: Dict[object, int] = {}
+        for record in log.all_records():
+            if record.offset >= stable or record.offset in skip_set:
+                continue
+            previous = last_by_key.get(record.key)
+            if previous is not None and record.value <= previous:
+                problems.append(
+                    f"committed key {record.key!r} went {previous} -> "
+                    f"{record.value} at offset {record.offset} in "
+                    f"{broker.name}:{key}"
+                )
+            last_by_key[record.key] = record.value
+    return problems
+
+
+def check_consumed_exactly_once(consumers: List[Consumer]) -> List[str]:
+    """No consumer delivered the same logical record twice (standalone only)."""
+    problems = []
+    for consumer in consumers:
+        seen: Dict[tuple, int] = {}
+        for record in consumer.received:
+            ident = (record.key, record.value)
+            if ident in seen:
+                problems.append(
+                    f"{consumer.name} consumed {ident!r} twice "
+                    f"(offsets {seen[ident]} and {record.offset})"
+                )
+            else:
+                seen[ident] = record.offset
+    return problems
+
+
+def check_consumed_per_key_order(consumers: List[Consumer]) -> List[str]:
+    """Each consumer saw every key's sequence in increasing order."""
+    problems = []
+    for consumer in consumers:
+        last_by_key: Dict[object, int] = {}
+        for record in consumer.received:
+            previous = last_by_key.get(record.key)
+            if previous is not None and record.value <= previous:
+                problems.append(
+                    f"{consumer.name}: key {record.key!r} went "
+                    f"{previous} -> {record.value}"
+                )
+            last_by_key[record.key] = record.value
+    return problems
+
+
+def run_chaos_txn_produce(
+    seed: int,
+    profile: str,
+    partitions: int = 1,
+    group_size: int = 1,
+    isolation: str = "read_committed",
+    n_txns: int = 20,
+    txn_size: int = 10,
+    n_keys: int = 8,
+    duration: float = 70.0,
+    mode: CoordinationMode = CoordinationMode.KRAFT,
+    n_brokers: int = 3,
+) -> TxnChaosResult:
+    """One seeded transactional chaos run.
+
+    A transactional producer drives ``n_txns`` transactions of ``txn_size``
+    records each.  One seed-chosen transaction is deliberately aborted; a
+    second seed-chosen one suffers the profile's fault *mid-transaction*
+    (after half its records, before end_txn):
+
+    * ``producer-kill`` — the producer is stopped cold and a successor with
+      the same ``transactional_id`` takes over from a second host.  Its
+      init must fence the zombie, abort the half-written transaction, and
+      re-run it to a clean commit.
+    * ``coordinator-kill`` — the coordinator host drops off the network for
+      4.5 s while a transaction is open; the commit must ride out the
+      outage through retries.
+    * ``leader-failover`` — the current leader of a seed-chosen partition
+      is disconnected for 5 s mid-transaction; data re-sends and the commit
+      marker must survive the election.
+
+    ``isolation`` selects the consumers' view: the matrix asserts zero
+    violations under ``read_committed``, and the control arm replays the
+    same seeds under ``read_uncommitted`` to show the torn/aborted writes
+    the guarantee removes.
+    """
+    if profile not in TXN_CHAOS_PROFILES:
+        raise ValueError(
+            f"unknown txn chaos profile {profile!r}; use {TXN_CHAOS_PROFILES}"
+        )
+    sim = Simulator(seed=derive_seed(seed, "txn-chaos-sim", profile))
+    broker_hosts = [f"broker{i + 1}" for i in range(n_brokers)]
+    sink_hosts = [f"sink{i + 1}" for i in range(group_size)]
+    network = one_big_switch(
+        sim,
+        broker_hosts + ["producer", "producer2"] + sink_hosts,
+        default_config=LinkConfig(latency_ms=8.0, bandwidth_mbps=200.0),
+    )
+    cluster = BrokerCluster(
+        network,
+        coordinator_host=broker_hosts[0],
+        config=ClusterConfig(
+            mode=mode,
+            session_timeout=5.0,
+            # Short enough that a transaction orphaned by a fault is swept
+            # mid-run (unpinning the LSO for the consumers' drain tail).
+            transaction_timeout=15.0,
+        ),
+    )
+    for host in broker_hosts:
+        cluster.add_broker(host)
+    topic = "chaos-txn"
+    cluster.add_topic(
+        TopicConfig(
+            name=topic,
+            partitions=partitions,
+            replication_factor=min(3, n_brokers),
+            preferred_leader=f"broker-{broker_hosts[1 % n_brokers]}",
+        )
+    )
+    cluster.start(settle_time=2.0)
+
+    transactional_id = "chaos-tx"
+
+    def make_producer(host: str, name: str) -> Producer:
+        return cluster.create_producer(
+            host,
+            config=ProducerConfig(
+                acks="all",
+                transactional_id=transactional_id,
+                request_timeout=0.6,
+                retry_backoff=0.1,
+                delivery_timeout=30.0,
+                linger=0.01,
+            ),
+            name=name,
+        )
+
+    producer = make_producer("producer", "chaos-txn-producer")
+    producers = [producer]
+    consumers = []
+    for index, host in enumerate(sink_hosts):
+        consumer = cluster.create_consumer(
+            host,
+            config=ConsumerConfig(
+                poll_interval=0.05,
+                group="chaos-txn-group" if group_size > 1 else None,
+                keep_payloads=True,
+                isolation_level=isolation,
+            ),
+            name=f"chaos-txn-consumer-{index}",
+        )
+        consumer.subscribe([topic])
+        consumers.append(consumer)
+
+    rng = SeededRandom(derive_seed(seed, "txn-chaos", profile)).child("driver")
+    abort_txn = 2 + rng.randint(0, 2)
+    fault_txn = 8 + rng.randint(0, 4)
+    fault_partition = rng.randint(0, partitions - 1)
+    injector = FaultInjector(network)
+
+    result = TxnChaosResult(
+        profile=profile,
+        seed=seed,
+        cluster=cluster,
+        producers=producers,
+        consumers=consumers,
+        topic=topic,
+        isolation=isolation,
+        n_txns=n_txns,
+        txn_size=txn_size,
+        n_keys=n_keys,
+    )
+
+    def send_range(active: Producer, start: int, end: int):
+        for i in range(start, end):
+            active.send(
+                ProducerRecord(
+                    topic=topic, key=f"k{i % n_keys}", value=i // n_keys, size=120
+                )
+            )
+            yield sim.timeout(0.04)
+
+    def finish(active: Producer, txn: int, outcome: str):
+        try:
+            if outcome == "commit":
+                yield from active.commit_transaction(timeout=25.0)
+                result.committed_txns.append(txn)
+            else:
+                yield from active.abort_transaction(timeout=25.0)
+                result.aborted_txns.append(txn)
+        except DeliveryFailed:
+            if outcome == "commit":
+                result.uncertain_txns.append(txn)
+            else:
+                result.aborted_txns.append(txn)
+        except ProducerFencedError:
+            result.aborted_txns.append(txn)
+
+    def drive():
+        yield sim.timeout(8.0)  # brokers registered, topic created, settled
+        producer.start()
+        for consumer in consumers:
+            consumer.start()
+        yield sim.timeout(2.0)  # init_producer_id handshake + group sync
+        active = producer
+        for txn in range(n_txns):
+            base = txn * txn_size
+            active.begin_transaction()
+            if txn != fault_txn:
+                yield from send_range(active, base, base + txn_size)
+                yield from finish(
+                    active, txn, "abort" if txn == abort_txn else "commit"
+                )
+            elif profile == "producer-kill":
+                yield from send_range(active, base, base + txn_size // 2)
+                active.stop()  # zombie: half a transaction in the log
+                successor = make_producer("producer2", "chaos-txn-producer-2")
+                producers.append(successor)
+                successor.start()
+                waited = 0.0
+                while successor.producer_id < 0 and waited < 10.0:
+                    yield sim.timeout(0.1)
+                    waited += 0.1
+                active = successor
+                # The successor's init bumped the epoch, fencing the zombie
+                # and aborting its half-written transaction — so the whole
+                # transaction re-runs from the top on the new instance.
+                active.begin_transaction()
+                yield from send_range(active, base, base + txn_size)
+                yield from finish(active, txn, "commit")
+            elif profile == "coordinator-kill":
+                yield from send_range(active, base, base + txn_size // 2)
+                injector.schedule_node_disconnection(
+                    NodeDisconnection(
+                        node=cluster.coordinator.host.name, start=0.0, duration=4.5
+                    )
+                )
+                yield from send_range(active, base + txn_size // 2, base + txn_size)
+                yield from finish(active, txn, "commit")
+            else:  # leader-failover
+                yield from send_range(active, base, base + txn_size // 2)
+                leader = cluster.leader_broker(topic, fault_partition)
+                if leader is not None:
+                    injector.schedule_node_disconnection(
+                        NodeDisconnection(
+                            node=leader.host.name, start=0.0, duration=5.0
+                        )
+                    )
+                yield from send_range(active, base + txn_size // 2, base + txn_size)
+                yield from finish(active, txn, "commit")
+            yield sim.timeout(0.1)
+
+    sim.process(drive())
+    sim.run(until=duration)
+    return result

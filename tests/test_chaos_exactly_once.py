@@ -23,9 +23,11 @@ import pytest
 
 from repro.testing.chaos import (
     CHAOS_PROFILES,
+    TXN_CHAOS_PROFILES,
     FaultSchedule,
     check_all_acked_consumed,
     run_chaos_produce,
+    run_chaos_txn_produce,
 )
 
 pytestmark = pytest.mark.chaos
@@ -151,3 +153,83 @@ def test_without_idempotence_the_same_schedule_duplicates(profile):
     on = run_chaos_produce(23, profile, partitions=1, group_size=1, idempotence=True)
     assert on.log_duplicates() == []
     assert on.duplicates_dropped > 0  # the same retries were dropped, visibly
+
+
+# ---------------------------------------------------------------------------
+# Transactional matrix: atomic commits under mid-transaction faults
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("profile", TXN_CHAOS_PROFILES)
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("partitions,group_size", SHARDING)
+def test_transactions_stay_atomic_under_chaos(profile, seed, partitions, group_size):
+    """Every committed transaction is observed all-or-nothing by
+    read_committed consumers, no aborted record surfaces, and per-key order
+    holds — through a deliberate abort plus the profile's mid-transaction
+    fault (producer kill + takeover, coordinator outage, leader failover)."""
+    result = run_chaos_txn_produce(
+        seed, profile, partitions=partitions, group_size=group_size,
+        isolation="read_committed",
+    )
+    # The run exercised both outcomes and resolved every transaction: all
+    # but the deliberately-aborted one committed (the producer-kill arm
+    # re-runs the fenced transaction to a commit on the successor).
+    assert len(result.committed_txns) == result.n_txns - 1
+    assert len(result.aborted_txns) == 1
+    assert result.uncertain_txns == []
+    violations = result.invariant_violations()
+    assert violations == [], (
+        f"transactional invariants violated for seed={seed} profile={profile} "
+        f"partitions={partitions}: {violations[:5]}"
+    )
+    # ...and the fault actually bit the transactional machinery.
+    cluster = result.cluster
+    if profile == "producer-kill":
+        assert len(result.producers) == 2
+        zombie, successor = result.producers
+        assert successor.producer_epoch == zombie.producer_epoch + 1
+        # Deliberate abort + the fencing abort of the zombie's half.
+        assert cluster.total_transactions_aborted() >= 2
+    else:
+        assert cluster.total_transactions_aborted() >= 1
+    assert cluster.total_transactions_committed() == len(result.committed_txns)
+    assert cluster.total_control_batches() > 0
+
+
+@pytest.mark.parametrize("profile", TXN_CHAOS_PROFILES)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_read_uncommitted_control_arm_sees_torn_and_aborted_writes(profile, seed):
+    """The matrix is not vacuous: the *same* seeds replayed with consumers on
+    the default read_uncommitted isolation demonstrably deliver records from
+    aborted transactions (torn writes the read_committed arm filtered)."""
+    result = run_chaos_txn_produce(
+        seed, profile, partitions=1, group_size=1, isolation="read_uncommitted"
+    )
+    violations = result.invariant_violations()
+    assert violations, (
+        f"expected the {profile} seed-{seed} schedule to expose aborted "
+        f"writes under read_uncommitted"
+    )
+    assert any("no committed transaction wrote" in v for v in violations)
+
+
+def test_txn_chaos_runs_replay_deterministically():
+    """Same seed/profile -> identical commit/abort outcomes, consumer
+    deliveries and coordinator metrics."""
+
+    def fingerprint():
+        result = run_chaos_txn_produce(11, "producer-kill", partitions=4,
+                                       group_size=4)
+        consumed = [
+            [(r.key, r.value, r.offset) for r in consumer.received]
+            for consumer in result.consumers
+        ]
+        return (
+            result.committed_txns,
+            result.aborted_txns,
+            result.uncertain_txns,
+            consumed,
+            dict(result.cluster.coordinator.txn_metrics),
+            result.cluster.total_control_batches(),
+        )
+
+    assert fingerprint() == fingerprint()

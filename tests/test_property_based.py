@@ -293,6 +293,126 @@ def test_stable_hash_is_deterministic_across_calls(values):
 
 
 # ---------------------------------------------------------------------------
+# Transactions (atomic visibility + state machine)
+# ---------------------------------------------------------------------------
+def _txn_data_batch(pid, epoch, base_seq, values):
+    batch = _producer_batch(pid, epoch, base_seq, values)
+    batch.transactional = True
+    return batch
+
+
+@given(
+    script=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=1),  # which producer
+            st.sampled_from(["send", "commit", "abort", "bump"]),
+            st.integers(min_value=1, max_value=3),  # records per send
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_read_committed_view_is_exactly_the_committed_records(script):
+    """Any interleaving of two producers' begin/send/commit/abort/epoch-bump
+    steps leaves a log whose read_committed view contains *exactly* the
+    records of committed transactions, in log order — aborted and fenced
+    writes are invisible, while read_uncommitted still sees every data
+    record (atomicity is a view, not a rewrite of the log)."""
+    log = PartitionLog("t")
+    producers = [
+        {"pid": 1, "epoch": 0, "seq": 0, "token": None},
+        {"pid": 2, "epoch": 0, "seq": 0, "token": None},
+    ]
+    record_meta = []  # (value, token) per appended data record, log order
+    value = 0
+    for which, action, n in script:
+        producer = producers[which]
+        if action == "send":
+            values = list(range(value, value + n))
+            value += n
+            batch = _txn_data_batch(
+                producer["pid"], producer["epoch"], producer["seq"], values
+            )
+            log.append_batch(batch, timestamp=0.0, leader_epoch=0)
+            producer["seq"] += n
+            if producer["token"] is None:
+                producer["token"] = {"committed": False}
+            for v in values:
+                record_meta.append((v, producer["token"]))
+        elif action in ("commit", "abort"):
+            if producer["token"] is None:
+                continue  # no open transaction: the coordinator refuses this
+            log.append_control(
+                producer["pid"], producer["epoch"], action,
+                timestamp=0.0, leader_epoch=0,
+            )
+            producer["token"]["committed"] = action == "commit"
+            producer["token"] = None
+        else:  # bump: a successor fenced this instance (abort, epoch + 1)
+            log.append_control(
+                producer["pid"], producer["epoch"] + 1, "abort",
+                timestamp=0.0, leader_epoch=0,
+            )
+            producer["epoch"] += 1
+            producer["seq"] = 0
+            producer["token"] = None
+    # The sweeper's job: every still-open transaction ends aborted.
+    for producer in producers:
+        if producer["token"] is not None:
+            log.append_control(
+                producer["pid"], producer["epoch"], "abort",
+                timestamp=0.0, leader_epoch=0,
+            )
+            producer["token"] = None
+    log.advance_high_watermark(log.log_end_offset)
+    assert log.last_stable_offset == log.high_watermark  # nothing left open
+    expected = [v for v, token in record_meta if token["committed"]]
+    skip, _ = log.invisible_offsets(0, log.last_stable_offset, "read_committed")
+    skip_set = frozenset(skip)
+    visible = [r.value for r in log.all_records() if r.offset not in skip_set]
+    assert visible == expected
+    # read_uncommitted hides only the markers: every data record is served.
+    skip_u, _ = log.invisible_offsets(0, log.high_watermark, "read_uncommitted")
+    visible_u = [
+        r.value for r in log.all_records() if r.offset not in frozenset(skip_u)
+    ]
+    assert visible_u == [v for v, _ in record_meta]
+
+
+@given(
+    targets=st.lists(
+        st.sampled_from(
+            ["Empty", "Ongoing", "PrepareCommit", "PrepareAbort",
+             "CompleteCommit", "CompleteAbort"]
+        ),
+        min_size=1,
+        max_size=40,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_transaction_state_machine_rejects_every_illegal_transition(targets):
+    """A random walk over transition requests: legal ones follow the KIP-98
+    state diagram, illegal ones raise and leave the state untouched."""
+    import pytest
+
+    from repro.broker.coordinator import _TXN_TRANSITIONS, TransactionState
+    from repro.broker.errors import InvalidTxnStateError
+
+    txn = TransactionState("tx", producer_id=0, producer_epoch=0)
+    for target in targets:
+        legal = target in _TXN_TRANSITIONS[txn.state]
+        before = txn.state
+        if legal:
+            txn.transition(target)
+            assert txn.state == target
+        else:
+            with pytest.raises(InvalidTxnStateError):
+                txn.transition(target)
+            assert txn.state == before
+
+
+# ---------------------------------------------------------------------------
 # Stores
 # ---------------------------------------------------------------------------
 @given(
