@@ -50,6 +50,20 @@ header carries the transactional/control bits inside its attributes field,
 so :data:`BATCH_HEADER_OVERHEAD` is again unchanged and non-transactional
 wire traffic stays byte-identical.
 
+Column ownership on fetch replies
+---------------------------------
+``PartitionLog.read_batch`` builds every reply batch from *fresh* list
+slices of the log's columns, and nothing on the broker or transport side
+retains a reference after the reply is sent.  A consumer therefore owns the
+columns of every fetched batch it receives, and batch-level observers
+(``Consumer.on_batch``) may adopt ``keys``/``values``/``sizes``/
+``produced_ats`` wholesale instead of copying — this is what makes the
+SPE's fused columnar ingest zero-copy from fetch slice to operator plane
+(see :meth:`repro.engine.columns.ColumnBatch.extend_from_wire`).  The one
+shared object is :data:`EMPTY_BATCH`, whose columns are empty and must stay
+that way — adopters must not take its lists (``extend_from_wire`` never
+does: empty batches are not delivered to observers).
+
 Size accounting rules
 ---------------------
 * ``total_size`` is the sum of the per-record payload sizes (the same

@@ -128,7 +128,13 @@ class Consumer:
         #: trailing ``skip`` frozenset of invisible offsets (control records,
         #: aborted transactions) whenever the batch contains any; the observer
         #: must not surface those records.  Ignored while ``on_record`` or
-        #: ``keep_payloads`` demand per-record objects.
+        #: ``keep_payloads`` demand per-record objects.  Ownership: every
+        #: delivered batch is built from fresh column slices and the consumer
+        #: never touches it again, so the observer may adopt its column lists
+        #: zero-copy (the SPE's fused columnar ingest does — see
+        #: ``repro.engine.columns.ColumnBatch.extend_from_wire``).  Empty
+        #: batches (including the shared ``EMPTY_BATCH`` sentinel) are never
+        #: delivered.
         self.on_batch = on_batch
         self.transport = Transport(
             host, default_timeout=self.config.fetch_timeout, max_retries=0

@@ -92,6 +92,10 @@ class PartitionLog:
         self._produced_ats: List[float] = []
         self._epochs: List[int] = []
         self._headers: List[Optional[Dict[str, Any]]] = []
+        #: True once any record landed here with headers — lets the fetch
+        #: hot path (``read_batch``) skip slicing and scanning the headers
+        #: column entirely in the overwhelmingly common header-free case.
+        self._has_headers = False
         #: Per-record producer identity columns (-1 = no producer id).  Kept
         #: in the log — not in leader-only session state — so a follower's
         #: replica fetches rebuild the same dedup table and guarantees
@@ -390,6 +394,8 @@ class PartitionLog:
         self._produced_ats.append(produced_at)
         self._epochs.append(leader_epoch)
         self._headers.append(dict(headers) if headers else None)
+        if headers:
+            self._has_headers = True
         if self._has_producers:
             self._producer_ids.append(-1)
             self._producer_epochs.append(-1)
@@ -421,6 +427,7 @@ class PartitionLog:
         self._epochs.extend([leader_epoch] * count)
         if batch.headers is not None:
             self._headers.extend(batch.headers)
+            self._has_headers = True
         else:
             self._headers.extend([None] * count)
         producer_id = batch.producer_id
@@ -528,6 +535,7 @@ class PartitionLog:
             self._timestamps.extend(batch.produced_ats)
         if batch.headers is not None:
             self._headers.extend(batch.headers)
+            self._has_headers = True
         else:
             self._headers.extend([None] * count)
         if batch.producer_ids is not None:
@@ -618,6 +626,8 @@ class PartitionLog:
         self._produced_ats.append(record.produced_at)
         self._epochs.append(record.leader_epoch)
         self._headers.append(dict(record.headers) if record.headers else None)
+        if record.headers:
+            self._has_headers = True
         if record.producer_id >= 0:
             self._ensure_producer_columns(len(self._values) - 1)
             self._note_producer_batch(
@@ -668,7 +678,9 @@ class PartitionLog:
         start, end = self._clamp_range(from_offset, max_records, up_to)
         if start >= end:
             return EMPTY_BATCH
-        headers = self._headers[start:end]
+        # Headers are rare: skip the slice + any() scan entirely unless some
+        # record in this log ever carried one (mirrors _has_producers).
+        headers = self._headers[start:end] if self._has_headers else None
         # Producer identities travel only on replica fetches (with_epochs) —
         # consumer fetches never need the dedup columns — and, like headers,
         # only when the *range* actually holds one (None otherwise, so
@@ -711,7 +723,7 @@ class PartitionLog:
             ),
             transactionals=transactionals,
             controls=controls,
-            headers=headers if any(headers) else None,
+            headers=headers if headers is not None and any(headers) else None,
         )
 
     def committed_read_batch(

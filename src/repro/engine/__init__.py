@@ -13,18 +13,32 @@ applications use:
   to in-memory collections;
 * an executor cost model that charges per-record processing time to the
   host's CPU, so job runtimes scale with input volume and saturate with core
-  count — the behaviours Figures 5, 7a and 7b rely on.
+  count — the behaviours Figures 5, 7a and 7b rely on;
+* a vectorized operator plane (:mod:`repro.engine.columns`): micro-batches
+  flow as :class:`ColumnBatch` columns from the broker fetch slice through
+  columnar operator kernels to the sink, with per-record ``StreamRecord``
+  materialization deferred until something actually demands records.  Both
+  paths produce bitwise-identical simulated traces; see
+  ``docs/vectorized_engine.md``.
 """
 
-from repro.engine.context import StreamingContext, StreamingConfig
+from repro.engine.columns import ColumnBatch
+from repro.engine.context import (
+    StreamingContext,
+    StreamingConfig,
+    default_engine_path,
+    set_default_engine_path,
+)
 from repro.engine.dstream import DStream
 from repro.engine.executor import ExecutorConfig
+from repro.engine.operators import columnar_kernel
 from repro.engine.sinks import KafkaSink, MemorySink, StoreSink
 from repro.engine.sources import KafkaSource, MemorySource, MergingSource
 
 __all__ = [
     "StreamingContext",
     "StreamingConfig",
+    "ColumnBatch",
     "DStream",
     "ExecutorConfig",
     "KafkaSource",
@@ -33,4 +47,7 @@ __all__ = [
     "KafkaSink",
     "MemorySink",
     "StoreSink",
+    "columnar_kernel",
+    "default_engine_path",
+    "set_default_engine_path",
 ]

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Callable, List, Optional, Tuple
 
+from repro.engine.columns import ColumnBatch
 from repro.engine.operators import (
     FilterOperator,
     FlatMapOperator,
@@ -17,6 +18,7 @@ from repro.engine.operators import (
     RepartitionByKeyOperator,
     UpdateStateByKeyOperator,
     WindowOperator,
+    columnar_kernel,
 )
 from repro.engine.records import StreamRecord
 from repro.engine.sinks import CallbackSink, MemorySink, Sink
@@ -47,6 +49,10 @@ class DStream:
         self.operators: List[Operator] = list(operators or [])
         self.joined_with = joined_with
         self.sinks: List[Sink] = []
+        #: Cached columnar execution plan (resolved once; the operator list
+        #: is immutable after construction — transformations derive new
+        #: DStreams).  See :meth:`_columnar_plan`.
+        self._kernel_plan: Optional[List[Any]] = None
 
     # -- transformations -----------------------------------------------------------
     def _derive(self, operator: Operator) -> "DStream":
@@ -144,6 +150,37 @@ class DStream:
             join_operator.set_right_batch(other_batch)
         current = batch
         for operator in self.operators:
+            current = operator.apply(current, now)
+        return current
+
+    def _columnar_plan(self) -> List[Any]:
+        """Kernels for the longest columnar prefix of the operator chain.
+
+        The chain executes columnar up to the first operator without a
+        kernel, materializes there, and stays on the record path for the
+        remainder — one static fallback point per chain, so every stateful
+        operator sees exactly one representation for the whole run.
+        """
+        if self._kernel_plan is None:
+            plan: List[Any] = []
+            for operator in self.operators:
+                kernel = columnar_kernel(operator)
+                if kernel is None:
+                    break
+                plan.append(kernel)
+            self._kernel_plan = plan
+        return self._kernel_plan
+
+    def execute_columns(self, cols: ColumnBatch, now: float):
+        """Columnar execution: returns a ColumnBatch, or a record list after
+        the chain's fallback point (the context handles either output)."""
+        plan = self._columnar_plan()
+        for kernel in plan:
+            cols = kernel(cols, now)
+        if len(plan) == len(self.operators):
+            return cols
+        current = cols.to_records()
+        for operator in self.operators[len(plan):]:
             current = operator.apply(current, now)
         return current
 

@@ -11,6 +11,20 @@ defers re-sizing of the new value until a sink or the batch accounting
 actually observes it (see :mod:`repro.engine.records`).  Operators therefore
 never trigger ``estimate_size`` themselves — an n-stage pipeline sizes each
 record at most once, at ingest or at the observation point, not per hop.
+
+Columnar kernels
+----------------
+Operators with a whole-column implementation additionally define
+``apply_columns(cols, now)`` taking and returning a
+:class:`~repro.engine.columns.ColumnBatch`.  The record-path ``apply`` is
+the semantic reference: a kernel must emit exactly the rows ``apply`` would
+emit, in the same order, with the same values/keys/provenance and the same
+size-carry behaviour (see ``ColumnBatch.derive``), so seeded traces are
+bitwise identical on either path.  :func:`columnar_kernel` resolves an
+operator's kernel — and deliberately refuses one for a subclass that
+re-implemented ``apply`` without a matching kernel, so user-supplied
+operators fall back to the record path instead of silently running stale
+inherited columnar semantics (see ``docs/vectorized_engine.md``).
 """
 
 from __future__ import annotations
@@ -18,7 +32,27 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.engine.columns import ColumnBatch
 from repro.engine.records import StreamRecord
+
+
+def columnar_kernel(operator: "Operator"):
+    """The operator's columnar kernel (bound method), or None for record path.
+
+    A kernel is valid only when the class that defines ``apply_columns`` is
+    the same class (or a superclass-of-neither situation) as the one defining
+    ``apply``: a subclass that overrides ``apply`` deeper in the MRO than its
+    inherited kernel has changed record-path semantics the kernel knows
+    nothing about, so it must fall back.
+    """
+    cls = type(operator)
+    if getattr(cls, "apply_columns", None) is None:
+        return None
+    kernel_owner = next(k for k in cls.__mro__ if "apply_columns" in vars(k))
+    apply_owner = next(k for k in cls.__mro__ if "apply" in vars(k))
+    if apply_owner is not kernel_owner and issubclass(apply_owner, kernel_owner):
+        return None
+    return operator.apply_columns
 
 
 class Operator:
@@ -44,6 +78,10 @@ class MapOperator(Operator):
     def apply(self, batch: List[StreamRecord], now: float) -> List[StreamRecord]:
         return [record.with_value(self.fn(record.value)) for record in batch]
 
+    def apply_columns(self, cols: ColumnBatch, now: float) -> ColumnBatch:
+        fn = self.fn
+        return cols.derive([fn(value) for value in cols.values])
+
 
 class FlatMapOperator(Operator):
     """Expand each element into zero or more elements."""
@@ -60,6 +98,35 @@ class FlatMapOperator(Operator):
                 output.append(record.with_value(value))
         return output
 
+    def apply_columns(self, cols: ColumnBatch, now: float) -> ColumnBatch:
+        fn = self.fn
+        in_keys = cols.keys
+        in_event = cols.event_times
+        in_ingest = cols.ingest_times
+        in_sizes = cols.sizes
+        values: List[Any] = []
+        keys: List[Any] = []
+        event_times: List[float] = []
+        ingest_times: List[float] = []
+        sizes: List[Optional[int]] = []
+        for index, value in enumerate(cols.values):
+            expanded = fn(value)
+            if not expanded:
+                continue
+            key = in_keys[index]
+            event_time = in_event[index]
+            ingest_time = in_ingest[index]
+            parent_size = in_sizes[index]
+            for out_value in expanded:
+                values.append(out_value)
+                keys.append(key)
+                event_times.append(event_time)
+                ingest_times.append(ingest_time)
+                # Expansions re-emitting the parent payload share its observed
+                # size state instead of re-estimating per expansion.
+                sizes.append(parent_size if out_value is value else None)
+        return ColumnBatch(values, keys, event_times, ingest_times, sizes)
+
 
 class FilterOperator(Operator):
     """Keep only elements whose value satisfies the predicate."""
@@ -71,6 +138,13 @@ class FilterOperator(Operator):
 
     def apply(self, batch: List[StreamRecord], now: float) -> List[StreamRecord]:
         return [record for record in batch if self.predicate(record.value)]
+
+    def apply_columns(self, cols: ColumnBatch, now: float) -> ColumnBatch:
+        predicate = self.predicate
+        keep = [index for index, value in enumerate(cols.values) if predicate(value)]
+        if len(keep) == len(cols.values):
+            return cols
+        return cols.take(keep)
 
 
 class MapPairsOperator(Operator):
@@ -87,6 +161,18 @@ class MapPairsOperator(Operator):
             key, value = self.fn(record.value)
             output.append(record.with_value(value, key=key))
         return output
+
+    def apply_columns(self, cols: ColumnBatch, now: float) -> ColumnBatch:
+        fn = self.fn
+        in_keys = cols.keys
+        keys: List[Any] = []
+        values: List[Any] = []
+        for index, in_value in enumerate(cols.values):
+            key, value = fn(in_value)
+            # with_value semantics: a None key keeps the record's old key.
+            keys.append(key if key is not None else in_keys[index])
+            values.append(value)
+        return cols.derive(values, keys=keys)
 
 
 class RepartitionByKeyOperator(Operator):
@@ -143,6 +229,22 @@ class ReduceByKeyOperator(Operator):
             for key, value in accumulators.items()
         ]
 
+    def apply_columns(self, cols: ColumnBatch, now: float) -> ColumnBatch:
+        fn = self.fn
+        values = cols.values
+        accumulators: Dict[Any, Any] = {}
+        rep_indices: Dict[Any, int] = {}
+        for index, key in enumerate(cols.keys):
+            if key in accumulators:
+                accumulators[key] = fn(accumulators[key], values[index])
+            else:
+                accumulators[key] = values[index]
+                rep_indices[key] = index
+        representatives = cols.take(list(rep_indices.values()))
+        return representatives.derive(
+            list(accumulators.values()), keys=list(accumulators.keys())
+        )
+
 
 class GroupByKeyOperator(Operator):
     """Collect all values of each key within the batch into a list."""
@@ -164,6 +266,19 @@ class GroupByKeyOperator(Operator):
             for key, values in grouped.items()
         ]
 
+    def apply_columns(self, cols: ColumnBatch, now: float) -> ColumnBatch:
+        values = cols.values
+        grouped: Dict[Any, List[Any]] = {}
+        rep_indices: Dict[Any, int] = {}
+        for index, key in enumerate(cols.keys):
+            if key in grouped:
+                grouped[key].append(values[index])
+            else:
+                grouped[key] = [values[index]]
+                rep_indices[key] = index
+        representatives = cols.take(list(rep_indices.values()))
+        return representatives.derive(list(grouped.values()), keys=list(grouped.keys()))
+
 
 class WindowOperator(Operator):
     """Sliding window over wall-clock (simulation) time.
@@ -182,6 +297,12 @@ class WindowOperator(Operator):
         self.window_duration = window_duration
         self.slide = slide
         self._buffer: deque = deque()
+        #: Columnar window state: ``(arrival, ColumnBatch)`` chunks.  Every
+        #: record of one ``apply_columns`` call shares the same arrival time,
+        #: so chunk-granular eviction is exactly the record path's per-record
+        #: eviction.  A given operator instance runs one path per run (the
+        #: chain's execution plan is static), so the two buffers never mix.
+        self._cbuffer: deque = deque()
         self._last_emit: float = float("-inf")
 
     def apply(self, batch: List[StreamRecord], now: float) -> List[StreamRecord]:
@@ -195,8 +316,22 @@ class WindowOperator(Operator):
         self._last_emit = now
         return [record for _, record in self._buffer]
 
+    def apply_columns(self, cols: ColumnBatch, now: float) -> ColumnBatch:
+        if len(cols):
+            self._cbuffer.append((now, cols))
+        cutoff = now - self.window_duration
+        while self._cbuffer and self._cbuffer[0][0] < cutoff:
+            self._cbuffer.popleft()
+        if self.slide is not None and now - self._last_emit < self.slide:
+            return ColumnBatch()
+        self._last_emit = now
+        if not self._cbuffer:
+            return ColumnBatch()
+        return ColumnBatch.concat([chunk for _, chunk in self._cbuffer])
+
     def reset(self) -> None:
         self._buffer.clear()
+        self._cbuffer.clear()
         self._last_emit = float("-inf")
 
 
@@ -229,6 +364,26 @@ class UpdateStateByKeyOperator(Operator):
             self.state[key] = new_state
             output.append(representatives[key].with_value(new_state, key=key))
         return output
+
+    def apply_columns(self, cols: ColumnBatch, now: float) -> ColumnBatch:
+        values = cols.values
+        grouped: Dict[Any, List[Any]] = {}
+        rep_indices: Dict[Any, int] = {}
+        for index, key in enumerate(cols.keys):
+            if key in grouped:
+                grouped[key].append(values[index])
+            else:
+                grouped[key] = [values[index]]
+                rep_indices[key] = index
+        fn = self.fn
+        state = self.state
+        new_states = []
+        for key, key_values in grouped.items():
+            new_state = fn(key_values, state.get(key))
+            state[key] = new_state
+            new_states.append(new_state)
+        representatives = cols.take(list(rep_indices.values()))
+        return representatives.derive(new_states, keys=list(grouped.keys()))
 
     def reset(self) -> None:
         self.state.clear()

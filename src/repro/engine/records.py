@@ -80,14 +80,22 @@ class StreamRecord:
         """Derive a new record with the same provenance but a new payload.
 
         ``resize=True`` (default) defers sizing of the new value until it is
-        observed; ``resize=False`` carries this record's size through.
+        observed; ``resize=False`` carries this record's size through.  When
+        the new value *is* this record's value (identity rewrite — e.g. a
+        ``flat_map`` expansion re-emitting its parent's payload), the clone
+        shares the parent's size state outright: same payload, same size,
+        so observing either estimates at most once between them instead of
+        once per expansion.
         """
         clone = StreamRecord.__new__(StreamRecord)
         clone.value = value
         clone.key = key if key is not None else self.key
         clone.event_time = self.event_time
         clone.ingest_time = self.ingest_time
-        clone._size = None if resize else self.size
+        if not resize:
+            clone._size = self.size
+        else:
+            clone._size = self._size if value is self.value else None
         return clone
 
     def age(self, now: float) -> float:

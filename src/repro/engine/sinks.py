@@ -6,6 +6,7 @@ from typing import TYPE_CHECKING, Any, Callable, List, Optional
 
 from repro.broker.message import ProducerRecord
 from repro.broker.producer import Producer, ProducerConfig
+from repro.engine.columns import ColumnBatch
 from repro.engine.records import StreamRecord
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -14,7 +15,17 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 class Sink:
-    """Base sink: receives the records emitted by a DStream every micro-batch."""
+    """Base sink: receives the records emitted by a DStream every micro-batch.
+
+    Sinks that can consume a :class:`~repro.engine.columns.ColumnBatch`
+    without per-record ``StreamRecord`` objects set ``accepts_columns`` and
+    override :meth:`write_columns`; the engine then defers materialization
+    past the sink entirely.  Sinks with record granularity (user callbacks,
+    store writers) leave it False — the engine materializes the output once
+    and calls :meth:`write` as before.
+    """
+
+    accepts_columns = False
 
     def __init__(self, name: str = "sink") -> None:
         self.name = name
@@ -22,6 +33,10 @@ class Sink:
 
     def write(self, batch: List[StreamRecord], now: float) -> None:
         self.records_written += len(batch)
+
+    def write_columns(self, cols: ColumnBatch, now: float) -> None:
+        """Columnar write entry point (fallback: materialize and delegate)."""
+        self.write(cols.to_records(), now)
 
     def start(self) -> None:
         """Hook for sinks that own network clients."""
@@ -33,6 +48,8 @@ class Sink:
 class MemorySink(Sink):
     """Collects emitted records in memory (used by tests and local analysis)."""
 
+    accepts_columns = True
+
     def __init__(self, name: str = "memory-sink", keep_records: bool = True) -> None:
         super().__init__(name=name)
         self.keep_records = keep_records
@@ -42,6 +59,13 @@ class MemorySink(Sink):
         super().write(batch, now)
         if self.keep_records:
             self.results.extend(batch)
+
+    def write_columns(self, cols: ColumnBatch, now: float) -> None:
+        # With keep_records off (the large-experiment mode) this is pure
+        # header accounting — no record is ever materialized.
+        self.records_written += len(cols)
+        if self.keep_records:
+            self.results.extend(cols.to_records())
 
     def values(self) -> List[Any]:
         return [record.value for record in self.results]
@@ -99,6 +123,8 @@ class KafkaSink(Sink):
     def stop(self) -> None:
         self.producer.stop()
 
+    accepts_columns = True
+
     def write(self, batch: List[StreamRecord], now: float) -> None:
         super().write(batch, now)
         for record in batch:
@@ -111,6 +137,27 @@ class KafkaSink(Sink):
                     key=record.key,
                     value=value,
                     size=max(record.size, 16),
+                )
+            )
+
+    def write_columns(self, cols: ColumnBatch, now: float) -> None:
+        """Publish straight from columns: same envelope, same size accounting."""
+        self.records_written += len(cols)
+        topic = self.topic
+        envelope = self.envelope
+        send = self.producer.send
+        keys = cols.keys
+        event_times = cols.event_times
+        size_at = cols.size_at
+        for index, value in enumerate(cols.values):
+            if envelope:
+                value = {"value": value, "event_time": event_times[index]}
+            send(
+                ProducerRecord(
+                    topic=topic,
+                    key=keys[index],
+                    value=value,
+                    size=max(size_at(index), 16),
                 )
             )
 

@@ -7,6 +7,7 @@ from typing import TYPE_CHECKING, Any, List, Optional, Sequence
 
 from repro.broker.batch import RecordBatch
 from repro.broker.consumer import Consumer, ConsumerConfig, ConsumerRecord
+from repro.engine.columns import ColumnBatch
 from repro.engine.records import StreamRecord
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -16,6 +17,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 class Source:
     """Base class: accumulates records until the driver drains a micro-batch."""
+
+    #: True when ``drain_columns()`` is the native drain (no per-record
+    #: materialization) — the context then feeds the columnar operator plane
+    #: directly.  Sources that buffer ``StreamRecord`` objects leave this
+    #: False and the engine uses the record path.
+    supports_columns = False
 
     def __init__(self, name: str = "source") -> None:
         self.name = name
@@ -30,6 +37,10 @@ class Source:
         """Take every record accumulated since the previous micro-batch."""
         batch, self._pending = self._pending, []
         return batch
+
+    def drain_columns(self) -> ColumnBatch:
+        """Take the pending micro-batch as columns (bridge for record sources)."""
+        return ColumnBatch.from_records(self.drain())
 
     @property
     def backlog(self) -> int:
@@ -92,6 +103,13 @@ class KafkaSource(Source):
         # The batch fast path only applies while nothing demands per-record
         # ConsumerRecord objects (custom value hook or kept payloads).
         batch_native = value_from_record is None and not config.keep_payloads
+        self.supports_columns = batch_native
+        #: Fused source→operator ingest: fetched wire batches accumulate here
+        #: as columns (adopting the reply's slices zero-copy when possible)
+        #: and flow into the columnar operator plane without ever becoming
+        #: StreamRecord objects — unless ``drain()`` (the record path, or a
+        #: join's right side) materializes them at the batch boundary.
+        self._pending_columns = ColumnBatch()
         self.consumer = Consumer(
             host,
             bootstrap=bootstrap,
@@ -113,36 +131,31 @@ class KafkaSource(Source):
         received_at: float,
         skip=None,
     ) -> None:
-        """Decode one fetched batch straight into pending stream records.
+        """Accumulate one fetched batch as pending columns (no materialization).
 
         ``skip`` holds offsets the consumer marked invisible (transaction
         control markers and, under ``read_committed``, aborted records) —
         they ship inside the contiguous wire batch but must never enter the
         stream."""
-        pending = self._pending
-        if skip:
-            ingested = 0
-            for offset, key, value, size, produced_at in batch.iter_records():
-                if offset in skip:
-                    continue
-                pending.append(StreamRecord(value, key, produced_at, received_at, size))
-                ingested += 1
-            self.records_ingested += ingested
-            return
-        keys = batch.keys
-        sizes = batch.sizes
-        produced_ats = batch.produced_ats
-        for index, value in enumerate(batch.values):
-            pending.append(
-                StreamRecord(
-                    value,
-                    keys[index],
-                    produced_ats[index],
-                    received_at,
-                    sizes[index],
-                )
-            )
-        self.records_ingested += len(batch)
+        self.records_ingested += self._pending_columns.extend_from_wire(
+            batch, received_at, skip
+        )
+
+    def drain(self) -> List[StreamRecord]:
+        """Record-path drain: materialize the pending columns at the boundary."""
+        if self.supports_columns:
+            return self.drain_columns().to_records()
+        return super().drain()
+
+    def drain_columns(self) -> ColumnBatch:
+        if not self.supports_columns:
+            return super().drain_columns()
+        columns, self._pending_columns = self._pending_columns, ColumnBatch()
+        return columns
+
+    @property
+    def backlog(self) -> int:
+        return len(self._pending) + len(self._pending_columns)
 
     def _on_record(self, record: ConsumerRecord) -> None:
         value = record.value
@@ -180,11 +193,25 @@ class MergingSource(Source):
     def __init__(self, children: List[Source], name: str = "merging-source") -> None:
         super().__init__(name=name)
         self.children = list(children)
+        self.supports_columns = all(child.supports_columns for child in children)
 
     def drain(self) -> List[StreamRecord]:
         merged: List[StreamRecord] = []
         for child in self.children:
             merged.extend(child.drain())
+        self.records_ingested += len(merged)
+        return merged
+
+    def drain_columns(self) -> ColumnBatch:
+        """Concatenate the children's pending columns in child (partition) order.
+
+        Children relinquish their drained batches, so the merge adopts the
+        first child's columns and extends them in place — the single-child
+        (and single-fetch) case stays zero-copy end to end.
+        """
+        merged = ColumnBatch()
+        for child in self.children:
+            merged.extend(child.drain_columns())
         self.records_ingested += len(merged)
         return merged
 

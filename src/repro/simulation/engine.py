@@ -34,10 +34,6 @@ class EmptySchedule(Exception):
     """Raised internally when there are no more events to process."""
 
 
-class StopSimulation(Exception):
-    """Raised to terminate :meth:`Simulator.run` when its until-event fires."""
-
-
 class _Callback:
     """A bare scheduled callback: the fast-path heap entry.
 
@@ -192,6 +188,12 @@ class Simulator:
         if until is not None:
             if isinstance(until, Event):
                 until_event = until
+                if until_event.processed:
+                    # Already fired and delivered in an earlier run() — there
+                    # is nothing left to wait for.
+                    if until_event._ok:
+                        return until_event._value
+                    raise until_event._value
             else:
                 deadline = float(until)
                 if deadline < self._now:
@@ -202,10 +204,15 @@ class Simulator:
                 until_event._ok = True
                 until_event._value = None
                 self._schedule(until_event, delay=deadline - self._now, priority=URGENT)
-            until_event.callbacks.append(self._stop_callback)
 
         # Hot loop: an inlined copy of step() with the heap, pop and counters
         # held in locals.  step() stays the single-step API; keep both in sync.
+        #
+        # The until-event is detected by identity *after* its callbacks have
+        # all run — stopping from inside the callback list (the old
+        # ``_stop_callback`` approach) silently destroyed every sibling
+        # callback behind it, losing e.g. a process parked on the same event
+        # before run() was entered.
         queue = self._queue
         pop = heapq.heappop
         processed = 0
@@ -226,11 +233,11 @@ class Simulator:
                         callback(event)
                 if not event._ok and not event._defused:
                     raise event._value
-        except StopSimulation as stop:
-            return stop.args[0] if stop.args else None
+                if event is until_event:
+                    if event._ok:
+                        return event._value
+                    raise event._value
         except EmptySchedule:
-            if until_event is not None and not until_event.triggered:
-                return None
             return None
         finally:
             self._processed_events += processed
@@ -261,11 +268,6 @@ class Simulator:
         finally:
             self._processed_events += processed
         return self._now
-
-    def _stop_callback(self, event: Event) -> None:
-        if event._ok:
-            raise StopSimulation(event._value)
-        raise event._value
 
     def __repr__(self) -> str:
         return f"<Simulator t={self._now:.6f} queued={len(self._queue)}>"

@@ -233,3 +233,142 @@ def test_txn_chaos_runs_replay_deterministically():
         )
 
     assert fingerprint() == fingerprint()
+
+
+# ---------------------------------------------------------------------------
+# SPE-facing chaos: the streaming engine ingests a chaos-ridden topic
+# ---------------------------------------------------------------------------
+def _run_chaos_spe(
+    seed,
+    profile,
+    vectorized,
+    partitions=2,
+    n_records=120,
+    n_keys=6,
+    duration=50.0,
+):
+    """A chaos run whose sink is the SPE: producer -> faulted cluster -> engine.
+
+    Mirrors :func:`run_chaos_produce`'s topology and workload, but the
+    consumer side is a :class:`StreamingContext` pipeline (map -> filter ->
+    memory sink), so the fault schedule stresses the engine's ingest plane —
+    columnar or record, per ``vectorized`` (None follows the session's
+    ``--engine-path`` default).
+    """
+    from repro.broker.cluster import BrokerCluster, ClusterConfig
+    from repro.broker.message import ProducerRecord
+    from repro.broker.producer import ProducerConfig
+    from repro.broker.topic import TopicConfig
+    from repro.engine import StreamingConfig, StreamingContext
+    from repro.network.link import LinkConfig
+    from repro.network.topology import one_big_switch
+    from repro.scenarios.spec import derive_seed
+    from repro.simulation import Simulator
+
+    sim = Simulator(seed=derive_seed(seed, "chaos-spe", profile))
+    broker_hosts = ["broker1", "broker2", "broker3"]
+    network = one_big_switch(
+        sim,
+        broker_hosts + ["producer", "spe"],
+        default_config=LinkConfig(latency_ms=8.0, bandwidth_mbps=200.0),
+    )
+    cluster = BrokerCluster(
+        network, coordinator_host="broker1", config=ClusterConfig(session_timeout=5.0)
+    )
+    for host in broker_hosts:
+        cluster.add_broker(host)
+    topic = "chaos"
+    cluster.add_topic(
+        TopicConfig(
+            name=topic,
+            partitions=partitions,
+            replication_factor=3,
+            preferred_leader="broker-broker2",
+        )
+    )
+    cluster.start(settle_time=2.0)
+    producer = cluster.create_producer(
+        "producer",
+        config=ProducerConfig(
+            acks="all",
+            idempotence=True,
+            request_timeout=0.6,
+            retry_backoff=0.1,
+            delivery_timeout=duration,
+            linger=0.01,
+        ),
+        name="chaos-producer",
+    )
+    ctx = StreamingContext(
+        network.host("spe"),
+        config=StreamingConfig(batch_interval=0.5, vectorized=vectorized),
+        cluster=cluster,
+    )
+    sink = (
+        ctx.kafka_stream([topic])
+        .map(lambda v: v)
+        .filter(lambda v: v >= 0)
+        .to_memory(name="chaos-spe-sink")
+    )
+    schedule = FaultSchedule.generate(
+        seed,
+        profile,
+        duration,
+        kill_hosts=broker_hosts[1:],
+        loss_links=[("producer", "s1"), ("broker2", "s1")],
+        failover_partitions=[f"{topic}-{p}" for p in range(partitions)],
+    )
+    schedule.apply(network, cluster)
+    interval = duration * 0.45 / n_records
+
+    def drive():
+        yield sim.timeout(8.0)
+        producer.start()
+        ctx.start()
+        yield sim.timeout(2.0)
+        for i in range(n_records):
+            producer.send(
+                ProducerRecord(
+                    topic=topic, key=f"k{i % n_keys}", value=i // n_keys, size=120
+                )
+            )
+            yield sim.timeout(interval)
+
+    sim.process(drive())
+    sim.run(until=duration)
+    return ctx, sink
+
+
+@pytest.mark.parametrize("profile", CHAOS_PROFILES)
+def test_spe_ingest_invariants_hold_under_chaos(profile, engine_path):
+    """The engine-side chaos matrix (runs once per path under
+    ``--engine-path=both``): with idempotence on, whatever reaches the SPE
+    sink through kills/loss/failover is duplicate-free and per-key ordered."""
+    ctx, sink = _run_chaos_spe(11, profile, vectorized=None)
+    assert ctx.total_input_records() > 0, "chaos run was vacuous"
+    assert len(sink.results) == ctx.total_input_records()
+    per_key = {}
+    for record in sink.results:
+        per_key.setdefault(record.key, []).append(record.value)
+    for key, values in per_key.items():
+        assert values == sorted(set(values)), (
+            f"{engine_path}/{profile}: key {key} saw duplicated or reordered "
+            f"sequences: {values}"
+        )
+
+
+@pytest.mark.parametrize("profile", CHAOS_PROFILES)
+def test_spe_chaos_paths_agree_bitwise(profile):
+    """Columnar and record execution of the identical chaos timeline deliver
+    the identical records with identical provenance and batch accounting."""
+    runs = {}
+    for label, vectorized in (("columnar", True), ("record", False)):
+        ctx, sink = _run_chaos_spe(23, profile, vectorized=vectorized)
+        runs[label] = (
+            [
+                (r.key, r.value, r.event_time, r.ingest_time, r.size)
+                for r in sink.results
+            ],
+            [(m.input_records, m.input_bytes) for m in ctx.batch_metrics],
+        )
+    assert runs["columnar"] == runs["record"]

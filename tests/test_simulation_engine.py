@@ -275,3 +275,71 @@ def test_named_rng_streams_are_independent():
     a = sim.rng("a")
     b = sim.rng("b")
     assert [a.random() for _ in range(3)] != [b.random() for _ in range(3)]
+
+
+def test_run_until_event_wakes_processes_waiting_on_it():
+    """Stopping on an until-event must still deliver it to every waiter.
+
+    The stop used to be raised from inside the event's callback list, which
+    destroyed every sibling callback behind it — a process parked on the same
+    event before run() was entered would sleep forever.
+    """
+    sim = Simulator()
+    marker = sim.event()
+    log = []
+
+    def firer():
+        yield sim.timeout(2.0)
+        marker.succeed("payload")
+
+    def waiter():
+        value = yield marker
+        log.append(("woke", sim.now, value))
+        yield sim.timeout(1.0)
+        log.append(("resumed", sim.now))
+
+    sim.process(firer())
+    sim.process(waiter())
+    assert sim.run(until=marker) == "payload"
+    assert log == [("woke", 2.0, "payload")]
+    # The waiter survived the stop and keeps running in the next run().
+    sim.run()
+    assert log == [("woke", 2.0, "payload"), ("resumed", 3.0)]
+
+
+def test_run_until_already_processed_event_returns_immediately():
+    sim = Simulator()
+    marker = sim.event()
+
+    def firer():
+        yield sim.timeout(1.0)
+        marker.succeed(17)
+
+    sim.process(firer())
+    sim.run()  # drains everything; marker fires and is fully processed
+    assert marker.processed
+    assert sim.run(until=marker) == 17
+    assert sim.now == 1.0
+
+
+def test_two_phase_run_until_events_resume_cleanly():
+    """Back-to-back run(until=event) calls: each phase stops exactly at its
+    event and the queue keeps working across the boundary."""
+    sim = Simulator()
+    first = sim.event()
+    second = sim.event()
+    ticks = []
+
+    def driver():
+        yield sim.timeout(1.0)
+        first.succeed()
+        while len(ticks) < 3:
+            yield sim.timeout(0.5)
+            ticks.append(sim.now)
+        second.succeed()
+
+    sim.process(driver())
+    sim.run(until=first)
+    assert sim.now == 1.0 and ticks == []
+    sim.run(until=second)
+    assert ticks == [1.5, 2.0, 2.5]
