@@ -119,6 +119,7 @@ class RecordBatch:
         "transactionals",
         "controls",
         "headers",
+        "offsets",
         "total_size",
     )
 
@@ -174,6 +175,11 @@ class RecordBatch:
         #: Per-record header dicts, or None when every record's headers are
         #: empty (the overwhelmingly common case — no allocation then).
         self.headers: Optional[List[Optional[Dict[str, Any]]]] = None
+        #: Explicit per-record offsets, or None for the contiguous common
+        #: case (record ``i`` at ``base_offset + i``).  Only ranges read out
+        #: of *compacted* log segments carry this column — compaction keeps
+        #: surviving records at their original, now-gapped offsets.
+        self.offsets: Optional[List[int]] = None
         #: Sum of per-record payload sizes (maintained incrementally).
         self.total_size = 0
 
@@ -247,10 +253,14 @@ class RecordBatch:
     @property
     def last_offset(self) -> int:
         """Offset of the final record (header arithmetic, no payload walk)."""
+        if self.offsets is not None:
+            return self.offsets[-1] if self.offsets else self.base_offset - 1
         return self.base_offset + len(self.values) - 1
 
     @property
     def next_offset(self) -> int:
+        if self.offsets is not None:
+            return self.offsets[-1] + 1 if self.offsets else self.base_offset
         return self.base_offset + len(self.values)
 
     @property
@@ -276,6 +286,16 @@ class RecordBatch:
     # -- iteration ---------------------------------------------------------------------
     def iter_records(self) -> Iterator[Tuple[int, Any, Any, int, float]]:
         """Yield ``(offset, key, value, size, produced_at)`` lazily per record."""
+        if self.offsets is not None:
+            for index, value in enumerate(self.values):
+                yield (
+                    self.offsets[index],
+                    self.keys[index],
+                    value,
+                    self.sizes[index],
+                    self.produced_ats[index],
+                )
+            return
         base = self.base_offset
         for index, value in enumerate(self.values):
             yield (
@@ -285,6 +305,11 @@ class RecordBatch:
                 self.sizes[index],
                 self.produced_ats[index],
             )
+
+    def offset_at(self, index: int) -> int:
+        if self.offsets is not None:
+            return self.offsets[index]
+        return self.base_offset + index
 
     # -- slicing -----------------------------------------------------------------------
     def tail(self, skip: int) -> "RecordBatch":
@@ -323,6 +348,55 @@ class RecordBatch:
         if self.base_sequence >= 0:
             trimmed.base_sequence = self.base_sequence + skip
         return trimmed
+
+    def run(self, start: int, stop: int) -> "RecordBatch":
+        """The contiguous sub-batch covering rows ``[start, stop)`` of a
+        *gapped* batch (``offsets`` must be set and contiguous over the run).
+        The result is an ordinary contiguous batch based at the run's first
+        offset — what lets replication split a compacted-range reply into
+        plain appends."""
+        offsets = self.offsets
+        piece = RecordBatch.from_columns(
+            self.topic,
+            self.partition,
+            base_offset=offsets[start],
+            keys=self.keys[start:stop],
+            values=self.values[start:stop],
+            sizes=self.sizes[start:stop],
+            produced_ats=self.produced_ats[start:stop],
+            timestamps=(
+                self.timestamps[start:stop] if self.timestamps is not None else None
+            ),
+            leader_epochs=(
+                self.leader_epochs[start:stop]
+                if self.leader_epochs is not None
+                else None
+            ),
+            producer_ids=(
+                self.producer_ids[start:stop]
+                if self.producer_ids is not None
+                else None
+            ),
+            producer_epochs=(
+                self.producer_epochs[start:stop]
+                if self.producer_epochs is not None
+                else None
+            ),
+            sequences=(
+                self.sequences[start:stop] if self.sequences is not None else None
+            ),
+            transactionals=(
+                self.transactionals[start:stop]
+                if self.transactionals is not None
+                else None
+            ),
+            controls=(
+                self.controls[start:stop] if self.controls is not None else None
+            ),
+            headers=self.headers[start:stop] if self.headers is not None else None,
+            leader_epoch=self.leader_epoch,
+        )
+        return piece
 
     def __repr__(self) -> str:
         return (

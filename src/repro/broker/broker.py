@@ -13,6 +13,7 @@ from repro.broker.errors import (
 )
 from repro.broker.batch import CONTROL_RECORD_SIZE, RecordBatch
 from repro.broker.log import LogRecord, PartitionLog
+from repro.broker.segment import LogStorageConfig, resolve_log_storage
 from repro.network.host import Host
 from repro.network.packet import estimate_size
 from repro.network.transport import Request, RequestTimeout, Response, Transport
@@ -67,6 +68,11 @@ class BrokerConfig:
     #: In KRaft mode a leader only accepts produce requests while its
     #: coordinator session has been refreshed within this horizon.
     leadership_lease: float = 4.0
+    #: Broker-wide default log storage shape (segment roll size, retention,
+    #: cleanup policy, cold tier).  ``None`` — the default — keeps every
+    #: partition on the flat single-array layout; per-topic overrides from
+    #: the metadata snapshot are merged on top (``resolve_log_storage``).
+    log_storage: Optional[LogStorageConfig] = None
 
 
 @dataclass
@@ -120,6 +126,12 @@ class Broker:
             #: locally-led partitions and the log bytes they occupy.
             "control_batches": 0,
             "control_batch_bytes": 0,
+            #: Storage-plane counters, folded up from per-log ``stats`` after
+            #: every maintenance pass (all zero on flat-layout logs).
+            "segments_sealed": 0,
+            "segments_evicted": 0,
+            "retention_records_dropped": 0,
+            "compaction_records_removed": 0,
         }
         self.lost_records: List[LogRecord] = []
         self.transport.register(BROKER_PORT, self._handle)
@@ -189,7 +201,14 @@ class Broker:
             if self.name not in info["replicas"]:
                 continue
             if key not in self.logs:
-                self.logs[key] = PartitionLog(info["topic"], info["partition"])
+                self.logs[key] = PartitionLog(
+                    info["topic"],
+                    info["partition"],
+                    storage=resolve_log_storage(
+                        info.get("log"), self.config.log_storage
+                    ),
+                    file_tag=self.name,
+                )
             previous_epoch = self._local_epochs.get(key, -1)
             new_epoch = info["leader_epoch"]
             if new_epoch > previous_epoch:
@@ -382,6 +401,7 @@ class Broker:
             # accounted once from ``batch.total_size`` inside the log.
             base_offset = log.append_batch(batch, timestamp=self.sim.now, leader_epoch=epoch)
             self.records_appended += len(batch)
+            self._log_maintenance(log)
             self._maybe_advance_high_watermark(key)
             if acks == "all":
                 replicated = yield from self._await_high_watermark(log, log.log_end_offset)
@@ -449,6 +469,15 @@ class Broker:
                 return {"error": "not_leader", "leader_host": self._leader_hint(key)}
             log = self.logs[key]
             offset = payload.get("offset", 0)
+            if offset < log.log_start_offset:
+                # Retention dropped the requested range: a real Kafka
+                # OffsetOutOfRange — the consumer applies its
+                # ``auto_offset_reset`` policy against the bounds we return.
+                return {
+                    "error": "offset_out_of_range",
+                    "log_start_offset": log.log_start_offset,
+                    "log_end_offset": log.log_end_offset,
+                }
             if offset > log.log_end_offset:
                 offset = log.log_end_offset
             max_records = payload.get("max_records", 500)
@@ -541,6 +570,7 @@ class Broker:
             )
             self.metrics["control_batches"] += 1
             self.metrics["control_batch_bytes"] += CONTROL_RECORD_SIZE
+            self._log_maintenance(log)
             self._maybe_advance_high_watermark(key)
             replicated = yield from self._await_high_watermark(log, offset + 1)
             if not replicated:
@@ -716,11 +746,44 @@ class Broker:
         if reply.get("error") is not None:
             return
         batch: RecordBatch = reply["batch"]
-        if len(batch) and batch.base_offset <= log.log_end_offset:
+        if len(batch) and (
+            batch.base_offset <= log.log_end_offset or log.storage is not None
+        ):
             # Whole-batch replica append: the already-present overlap (if the
-            # follower refetched from an older LEO) is trimmed inside.
+            # follower refetched from an older LEO) is trimmed inside.  A
+            # segmented follower also accepts batches *past* its LEO — the
+            # leader's retention/compaction left a gap the follower adopts
+            # with a forced segment boundary.
             log.append_wire_batch(batch)
+            self._log_maintenance(log)
         log.set_high_watermark(reply["high_watermark"])
+
+    # -- storage maintenance -------------------------------------------------------------
+    def _log_maintenance(self, log: PartitionLog) -> None:
+        """Run one retention/compaction/eviction pass on ``log`` and fold the
+        per-log storage counters up into the broker metrics (no-op, and two
+        dict probes cheap, for flat-layout logs)."""
+        if log.storage is None:
+            return
+        log.maybe_maintain(self.sim.now)
+        self.refresh_storage_metrics()
+
+    def refresh_storage_metrics(self) -> None:
+        """Fold the per-log storage counters up into ``metrics``.
+
+        Runs after every maintenance pass; readers (cluster aggregates,
+        scenario metrics) call it directly since fetch-driven fault-in can
+        evict segments between produce-side maintenance passes.
+        """
+        for name in (
+            "segments_sealed",
+            "segments_evicted",
+            "retention_records_dropped",
+            "compaction_records_removed",
+        ):
+            self.metrics[name] = sum(
+                partition_log.stats[name] for partition_log in self.logs.values()
+            )
 
     def __repr__(self) -> str:
         return f"<Broker {self.name} on {self.host.name} partitions={len(self.logs)}>"

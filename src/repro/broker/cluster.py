@@ -16,6 +16,7 @@ from repro.broker.broker import Broker, BrokerConfig
 from repro.broker.consumer import Consumer, ConsumerConfig
 from repro.broker.coordinator import CoordinationMode, Coordinator
 from repro.broker.producer import Producer, ProducerConfig
+from repro.broker.segment import LogStorageConfig
 from repro.broker.topic import TopicConfig
 from repro.network.network import Network
 
@@ -32,9 +33,34 @@ class ClusterConfig:
     #: coordinator's sweeper aborts it (producers may configure less).
     transaction_timeout: float = 60.0
     broker: BrokerConfig = field(default_factory=BrokerConfig)
+    #: Catalog-wide log storage defaults (sweepable like every other knob
+    #: here).  When any is set they are folded into one
+    #: :class:`~repro.broker.segment.LogStorageConfig` on
+    #: ``broker.log_storage``; all-``None`` (the default) keeps the flat
+    #: in-memory log layout.  ``retention_ms`` follows Kafka's unit;
+    #: ``log_dir`` enables the on-disk cold tier for sealed segments.
+    segment_records: Optional[int] = None
+    retention_bytes: Optional[int] = None
+    retention_ms: Optional[float] = None
+    cleanup_policy: str = "delete"
+    log_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         self.mode = CoordinationMode(self.mode)
+        if (
+            self.segment_records is not None
+            or self.retention_bytes is not None
+            or self.retention_ms is not None
+            or self.cleanup_policy != "delete"
+            or self.log_dir is not None
+        ) and self.broker.log_storage is None:
+            self.broker.log_storage = LogStorageConfig(
+                segment_records=self.segment_records,
+                retention_bytes=self.retention_bytes,
+                retention_ms=self.retention_ms,
+                cleanup_policy=self.cleanup_policy,
+                segment_dir=self.log_dir,
+            )
 
 
 class BrokerCluster:
@@ -211,6 +237,31 @@ class BrokerCluster:
         return sum(
             broker.metrics["control_batch_bytes"] for broker in self.brokers.values()
         )
+
+    def _total_storage_metric(self, name: str) -> int:
+        # Refresh first: fetch-driven fault-in can evict segments between
+        # produce-side maintenance passes, leaving broker.metrics stale.
+        total = 0
+        for broker in self.brokers.values():
+            broker.refresh_storage_metrics()
+            total += broker.metrics[name]
+        return total
+
+    def total_segments_sealed(self) -> int:
+        """Head segments sealed across all replicas (storage plane)."""
+        return self._total_storage_metric("segments_sealed")
+
+    def total_segments_evicted(self) -> int:
+        """Sealed segments evicted to the cold tier across all replicas."""
+        return self._total_storage_metric("segments_evicted")
+
+    def total_retention_records_dropped(self) -> int:
+        """Records deleted by time/size retention across all replicas."""
+        return self._total_storage_metric("retention_records_dropped")
+
+    def total_compaction_records_removed(self) -> int:
+        """Records removed by key compaction across all replicas."""
+        return self._total_storage_metric("compaction_records_removed")
 
     def describe(self) -> dict:
         return {

@@ -64,12 +64,23 @@ class ConsumerConfig:
     #: Stable Offset and records of aborted transactions are filtered out, so
     #: only atomically committed transactions are ever observed.
     isolation_level: str = "read_uncommitted"
+    #: What to do when a fetch lands below the partition's log start offset
+    #: (retention deleted the requested range): ``"earliest"`` (default,
+    #: Kafka's semantics for a consumer that fell behind retention — resume
+    #: at the new log start), ``"latest"`` (skip to the log end) or
+    #: ``"error"`` (count a fetch error and stop polling the partition).
+    auto_offset_reset: str = "earliest"
 
     def __post_init__(self) -> None:
         if self.isolation_level not in ("read_uncommitted", "read_committed"):
             raise ValueError(
                 f"unknown isolation_level {self.isolation_level!r}; expected "
                 "'read_uncommitted' or 'read_committed'"
+            )
+        if self.auto_offset_reset not in ("earliest", "latest", "error"):
+            raise ValueError(
+                f"unknown auto_offset_reset {self.auto_offset_reset!r}; "
+                "expected 'earliest', 'latest' or 'error'"
             )
         if self.poll_interval <= 0:
             raise ValueError("poll_interval must be positive")
@@ -160,6 +171,10 @@ class Consumer:
         self.records_consumed = 0
         self.bytes_consumed = 0
         self.fetch_errors = 0
+        #: Out-of-range resets applied (``auto_offset_reset`` hits).
+        self.offset_resets = 0
+        #: Partitions abandoned under ``auto_offset_reset="error"``.
+        self._dead_partitions: set = set()
         self.running = False
         host.register_component(self)
 
@@ -237,6 +252,8 @@ class Consumer:
                 yield from self._refresh_metadata()
                 last_refresh = self.sim.now
             for key, info in self._poll_targets():
+                if self._dead_partitions and key in self._dead_partitions:
+                    continue
                 progressed = yield from self._fetch_partition(key, info)
                 if progressed is False:
                     # Leader unknown or unreachable: back off a little and
@@ -445,6 +462,22 @@ class Consumer:
         except RequestTimeout:
             self.fetch_errors += 1
             return False
+        if reply.get("error") == "offset_out_of_range":
+            # Retention deleted the range we asked for.  Apply the configured
+            # reset policy against the bounds the broker returned (exactly
+            # Kafka's client-side auto.offset.reset handling).
+            policy = self.config.auto_offset_reset
+            if policy == "error":
+                self.fetch_errors += 1
+                self._dead_partitions.add(key)
+                return True
+            self.offsets[key] = (
+                reply["log_end_offset"]
+                if policy == "latest"
+                else reply["log_start_offset"]
+            )
+            self.offset_resets += 1
+            return True
         if reply.get("error") is not None:
             self.fetch_errors += 1
             return False
@@ -491,7 +524,9 @@ class Consumer:
         topic = info["topic"]
         partition = info["partition"]
         skip = frozenset(skip_offsets) if skip_offsets else None
-        for offset, record_key, value, size, produced_at in batch.iter_records():
+        for index, (offset, record_key, value, size, produced_at) in enumerate(
+            batch.iter_records()
+        ):
             if skip is not None and offset in skip:
                 self.offsets[key] = offset + 1
                 continue
@@ -502,7 +537,9 @@ class Consumer:
                 key=record_key,
                 value=value,
                 size=size,
-                timestamp=batch.timestamp_at(offset - batch.base_offset, now),
+                # Row index, not offset arithmetic: compacted ranges carry
+                # gapped per-record offsets.
+                timestamp=batch.timestamp_at(index, now),
                 produced_at=produced_at,
                 received_at=now,
             )

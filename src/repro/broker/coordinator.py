@@ -811,23 +811,35 @@ class Coordinator:
     # -- metadata ---------------------------------------------------------------------
     def metadata_snapshot(self) -> dict:
         """Serializable copy of the full cluster metadata."""
+        # Per-topic storage overrides ride the snapshot only when non-default
+        # (no ``"log"`` key at all otherwise), so clusters without storage
+        # config ship byte-identical metadata.
+        storage_overrides = {}
+        for name, config in self.topics.items():
+            overrides = config.storage_overrides()
+            if overrides is not None:
+                storage_overrides[name] = overrides
+        partitions = {}
+        for key, state in self.partitions.items():
+            entry = {
+                "topic": state.topic,
+                "partition": state.partition,
+                "replicas": list(state.replicas),
+                "leader": state.leader,
+                "leader_epoch": state.leader_epoch,
+                "isr": list(state.isr),
+            }
+            overrides = storage_overrides.get(state.topic)
+            if overrides is not None:
+                entry["log"] = dict(overrides)
+            partitions[key] = entry
         return {
             "version": self.metadata_version,
             "brokers": {
                 name: {"host": reg.host, "alive": reg.alive}
                 for name, reg in self.brokers.items()
             },
-            "partitions": {
-                key: {
-                    "topic": state.topic,
-                    "partition": state.partition,
-                    "replicas": list(state.replicas),
-                    "leader": state.leader,
-                    "leader_epoch": state.leader_epoch,
-                    "isr": list(state.isr),
-                }
-                for key, state in self.partitions.items()
-            },
+            "partitions": partitions,
         }
 
     def _snapshot_size(self, snapshot: dict) -> int:

@@ -1,4 +1,4 @@
-"""Append-only partition logs (columnar, batch-native).
+"""Append-only partition logs (columnar, batch-native, segmented).
 
 Each partition replica is backed by a :class:`PartitionLog`: an append-only
 sequence of records with a *log end offset* (next offset to be written) and a
@@ -20,14 +20,38 @@ payloads with C-level list extends/slices and compute sizes once from the
 batch header.  The per-record views (:class:`LogRecord`) are materialized
 lazily only on the cold paths (tests, truncation loss accounting,
 ``record_at`` debugging).
+
+Segmented storage (``docs/log_storage.md``)
+-------------------------------------------
+With a :class:`~repro.broker.segment.LogStorageConfig` the log is the
+*head segment* (exactly the flat columns above — every hot path untouched)
+plus a list of immutable :class:`~repro.broker.segment.SealedSegment`
+chunks.  When the head reaches ``segment_records`` rows it is sealed in
+O(1) (the column lists move, nothing is copied) and reads below the head
+bisect the sealed base offsets to locate their segment.  Sealed segments
+are the unit of retention (whole-segment deletes advance
+``log_start_offset``), key compaction (in-place rewrite keeping original
+offsets), cold-tier eviction (columns dropped, faulted back from the
+segment file on fetch) and recovery (:meth:`PartitionLog.recover` replays
+segment files back into a full replica — producer state, epoch boundaries
+and transaction state included).  Without storage config the log is one
+flat head forever — byte-identical to the pre-segmentation layout.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.broker.batch import CONTROL_RECORD_SIZE, EMPTY_BATCH, RecordBatch
+from repro.broker.segment import (
+    LogStorageConfig,
+    SealedSegment,
+    list_segment_files,
+    segment_file_name,
+    session_default_storage,
+)
 
 
 @dataclass
@@ -81,10 +105,47 @@ class ProducerEntry:
 class PartitionLog:
     """An append-only log for one replica of one partition."""
 
-    def __init__(self, topic: str, partition: int = 0) -> None:
+    def __init__(
+        self,
+        topic: str,
+        partition: int = 0,
+        storage: Optional[LogStorageConfig] = None,
+        file_tag: str = "",
+    ) -> None:
         self.topic = topic
         self.partition = partition
-        # Columnar storage; index i holds record (base_offset + i).
+        if storage is None:
+            # Session backend default: ``--log-backend=segments`` makes every
+            # log without explicit storage run segmented (None under the
+            # default memory backend — the flat pre-segmentation layout).
+            storage = session_default_storage()
+        #: Storage shape (None = flat single-array log, today's default).
+        self.storage = storage
+        #: Distinguishes replicas of the same partition in a shared cold-tier
+        #: directory (the broker passes its own name).
+        self._file_tag = file_tag
+        #: Head roll threshold; 0 = never roll (flat log).
+        self._seg_limit = (storage.segment_records or 0) if storage else 0
+        #: Immutable sealed segments, oldest first, plus their base offsets
+        #: for bisect (``_sealed_bases[i] == _sealed[i].base_offset``).
+        self._sealed: List[SealedSegment] = []
+        self._sealed_bases: List[int] = []
+        #: Bytes of sealed segments currently resident in memory.
+        self._sealed_hot_bytes = 0
+        #: First offset still present anywhere in the log; advanced only by
+        #: whole-segment retention deletes (compaction keeps boundaries).
+        self._log_start = 0
+        #: Sealed-segment churn since the last compaction pass.
+        self._dirty_sealed = 0
+        #: Storage-plane counters (brokers fold these into their metrics).
+        self.stats: Dict[str, int] = {
+            "segments_sealed": 0,
+            "segments_evicted": 0,
+            "retention_records_dropped": 0,
+            "compaction_records_removed": 0,
+            "cold_loads": 0,
+        }
+        # Columnar head storage; index i holds record (base_offset + i).
         self._keys: List[Any] = []
         self._values: List[Any] = []
         self._sizes: List[int] = []
@@ -147,14 +208,41 @@ class PartitionLog:
 
     @property
     def log_start_offset(self) -> int:
-        return self._base_offset
+        """First offset still held (> 0 once retention dropped segments)."""
+        return self._log_start
 
     def __len__(self) -> int:
-        return len(self._values)
+        count = len(self._values)
+        for segment in self._sealed:
+            count += segment.count
+        return count
 
     @property
     def size_bytes(self) -> int:
-        return self._size_bytes
+        """Bytes resident in memory (head + non-evicted sealed segments).
+
+        This is what the emulated broker's memory accounting charges; evicted
+        cold-tier segments cost disk, not RAM.  Equals :attr:`total_size_bytes`
+        until something is evicted.
+        """
+        return self._size_bytes + self._sealed_hot_bytes
+
+    @property
+    def total_size_bytes(self) -> int:
+        """Bytes across all tiers, including evicted cold segments."""
+        total = self._size_bytes
+        for segment in self._sealed:
+            total += segment.size_bytes
+        return total
+
+    @property
+    def segment_count(self) -> int:
+        """Sealed segments plus the head."""
+        return len(self._sealed) + 1
+
+    @property
+    def sealed_segments(self) -> List[SealedSegment]:
+        return list(self._sealed)
 
     # -- transaction state ------------------------------------------------------------
     @property
@@ -179,7 +267,7 @@ class PartitionLog:
 
     def _ensure_txn_columns(self, backfill: int) -> None:
         """First transactional append: backfill the transaction columns for
-        the ``backfill`` records already in the log."""
+        the ``backfill`` records already in the head."""
         if self._has_txn:
             return
         self._transactionals = [False] * backfill
@@ -210,22 +298,42 @@ class PartitionLog:
         self._open_txn_first = {}
         self.aborted_ranges = []
         self.last_markers = {}
-        base = self._base_offset
-        controls = self._controls
-        transactionals = self._transactionals
-        producer_ids = self._producer_ids if self._has_producers else None
-        for index in range(len(self._values)):
-            control = controls[index]
+        for offset, transactional, control, producer_id in self._iter_txn_rows():
             if control is not None:
-                marker, producer_id, producer_epoch = control
-                first = self._open_txn_first.pop(producer_id, None)
+                marker, ctrl_producer, ctrl_epoch = control
+                first = self._open_txn_first.pop(ctrl_producer, None)
                 if marker == "abort" and first is not None:
-                    self.aborted_ranges.append((first, base + index, producer_id))
-                self.last_markers[producer_id] = (producer_epoch, marker, base + index)
-            elif transactionals[index] and producer_ids is not None:
-                producer_id = producer_ids[index]
-                if producer_id >= 0 and producer_id not in self._open_txn_first:
-                    self._open_txn_first[producer_id] = base + index
+                    self.aborted_ranges.append((first, offset, ctrl_producer))
+                self.last_markers[ctrl_producer] = (ctrl_epoch, marker, offset)
+            elif transactional and producer_id >= 0:
+                if producer_id not in self._open_txn_first:
+                    self._open_txn_first[producer_id] = offset
+
+    def _iter_txn_rows(self) -> Iterator[Tuple[int, bool, Any, int]]:
+        """Yield ``(offset, transactional, control, producer_id)`` across all
+        tiers in offset order (loads evicted segments; cold path)."""
+        for segment in self._sealed:
+            self._ensure_loaded(segment)
+            transactionals = segment.transactionals
+            controls = segment.controls
+            producer_ids = segment.producer_ids
+            for index in range(segment.count):
+                yield (
+                    segment.offset_at(index),
+                    transactionals[index] if transactionals is not None else False,
+                    controls[index] if controls is not None else None,
+                    producer_ids[index] if producer_ids is not None else -1,
+                )
+        base = self._base_offset
+        has_txn = self._has_txn
+        has_producers = self._has_producers
+        for index in range(len(self._values)):
+            yield (
+                base + index,
+                self._transactionals[index] if has_txn else False,
+                self._controls[index] if has_txn else None,
+                self._producer_ids[index] if has_producers else -1,
+            )
 
     def invisible_offsets(
         self, from_offset: int, up_to: int, isolation: str
@@ -240,6 +348,8 @@ class PartitionLog:
         """
         if not self._has_txn:
             return [], 0
+        if from_offset < self._base_offset and self._sealed:
+            return self._invisible_offsets_sealed(from_offset, up_to, isolation)
         base = self._base_offset
         skipped: List[int] = []
         start = max(from_offset, base)
@@ -264,6 +374,66 @@ class PartitionLog:
             return [], 0
         skipped = sorted(set(skipped))
         bytes_skipped = sum(self._sizes[offset - base] for offset in skipped)
+        return skipped, bytes_skipped
+
+    def _invisible_offsets_sealed(
+        self, from_offset: int, up_to: int, isolation: str
+    ) -> Tuple[List[int], int]:
+        """Segment-aware invisibility scan (fetches served below the head).
+
+        Row-wise rather than range-arithmetic: compacted segments hold gapped
+        offsets, so every row in range is checked against the control column
+        and (under ``read_committed``) the aborted-transaction index.
+        """
+        committed = isolation == "read_committed"
+        aborted_by_producer: Dict[int, List[Tuple[int, int]]] = {}
+        if committed:
+            for first, marker_offset, producer_id in self.aborted_ranges:
+                aborted_by_producer.setdefault(producer_id, []).append(
+                    (first, marker_offset)
+                )
+        skipped: List[int] = []
+        bytes_skipped = 0
+        end = min(up_to, self.log_end_offset)
+        for segment in self._sealed:
+            if segment.next_offset <= from_offset:
+                continue
+            if segment.base_offset >= end:
+                break
+            start_index, end_index = segment.index_range(from_offset, end)
+            if start_index >= end_index:
+                continue
+            self._ensure_loaded(segment)
+            controls = segment.controls
+            transactionals = segment.transactionals
+            producer_ids = segment.producer_ids
+            sizes = segment.sizes
+            for index in range(start_index, end_index):
+                if controls is not None and controls[index] is not None:
+                    skipped.append(segment.offset_at(index))
+                    bytes_skipped += sizes[index]
+                    continue
+                if (
+                    committed
+                    and transactionals is not None
+                    and transactionals[index]
+                    and producer_ids is not None
+                ):
+                    producer_id = producer_ids[index]
+                    offset = segment.offset_at(index)
+                    for first, marker_offset in aborted_by_producer.get(
+                        producer_id, ()
+                    ):
+                        if first <= offset < marker_offset:
+                            skipped.append(offset)
+                            bytes_skipped += sizes[index]
+                            break
+        if from_offset < self.log_end_offset and end > self._base_offset:
+            head_skipped, head_bytes = self.invisible_offsets(
+                max(from_offset, self._base_offset), up_to, isolation
+            )
+            skipped.extend(head_skipped)
+            bytes_skipped += head_bytes
         return skipped, bytes_skipped
 
     # -- producer dedup table ---------------------------------------------------------
@@ -309,7 +479,7 @@ class PartitionLog:
 
     def _ensure_producer_columns(self, backfill: int) -> None:
         """First idempotent append: backfill the identity columns with -1 for
-        the ``backfill`` records already in the log, then keep them in
+        the ``backfill`` records already in the head, then keep them in
         lockstep with every later append."""
         if self._has_producers:
             return
@@ -345,24 +515,51 @@ class PartitionLog:
         rebuilt this way mid-flight).
         """
         state: Dict[int, ProducerEntry] = {}
-        producer_ids = self._producer_ids
-        producer_epochs = self._producer_epochs
-        sequences = self._sequences
-        base = self._base_offset
-        for index, producer_id in enumerate(producer_ids):
+        for offset, producer_id, producer_epoch, sequence in self._iter_producer_rows():
             if producer_id < 0:
                 continue
             entry = state.get(producer_id)
             if entry is None:
                 state[producer_id] = ProducerEntry(
-                    producer_epochs[index], sequences[index], base + index, 1
+                    producer_epoch, sequence, offset, 1
                 )
             else:
-                entry.epoch = producer_epochs[index]
-                entry.last_sequence = sequences[index]
-                entry.last_base_offset = base + index
+                entry.epoch = producer_epoch
+                entry.last_sequence = sequence
+                entry.last_base_offset = offset
                 entry.last_count = 1
         self.producer_state = state
+
+    def _iter_producer_rows(self) -> Iterator[Tuple[int, int, int, int]]:
+        """Yield ``(offset, producer_id, producer_epoch, sequence)`` across
+        all tiers in offset order (cold path; loads evicted segments)."""
+        for segment in self._sealed:
+            self._ensure_loaded(segment)
+            producer_ids = segment.producer_ids
+            if producer_ids is None:
+                continue
+            producer_epochs = segment.producer_epochs
+            sequences = segment.sequences
+            for index, producer_id in enumerate(producer_ids):
+                if producer_id >= 0:
+                    yield (
+                        segment.offset_at(index),
+                        producer_id,
+                        producer_epochs[index],
+                        sequences[index],
+                    )
+        if self._has_producers:
+            base = self._base_offset
+            producer_epochs = self._producer_epochs
+            sequences = self._sequences
+            for index, producer_id in enumerate(self._producer_ids):
+                if producer_id >= 0:
+                    yield (
+                        base + index,
+                        producer_id,
+                        producer_epochs[index],
+                        sequences[index],
+                    )
 
     # -- writes -----------------------------------------------------------------------
     def _note_epoch(self, leader_epoch: int, start_offset: int) -> None:
@@ -404,7 +601,10 @@ class PartitionLog:
             self._transactionals.append(False)
             self._controls.append(None)
         self._size_bytes += size
-        return self._record_view(offset - self._base_offset)
+        record = self._record_view(offset - self._base_offset)
+        if self._seg_limit and len(self._values) >= self._seg_limit:
+            self._seal_head()
+        return record
 
     def append_batch(
         self, batch: RecordBatch, timestamp: float, leader_epoch: int
@@ -412,7 +612,10 @@ class PartitionLog:
         """Append a whole produce batch under one epoch; returns its base offset.
 
         This is the leader-side hot path: one epoch check, C-level column
-        extends, and the size accounted once from the batch header.
+        extends, and the size accounted once from the batch header.  Produce
+        batches are never split across segments: the head rolls *after* the
+        whole batch landed (so a segment may exceed ``segment_records`` by
+        one batch).
         """
         base_offset = self.log_end_offset
         count = len(batch)
@@ -456,6 +659,8 @@ class PartitionLog:
             self._transactionals.extend([False] * count)
             self._controls.extend([None] * count)
         self._size_bytes += batch.total_size
+        if self._seg_limit and len(self._values) >= self._seg_limit:
+            self._seal_head()
         return base_offset
 
     def append_control(
@@ -494,6 +699,8 @@ class PartitionLog:
         self._controls.append((marker, producer_id, producer_epoch))
         self._size_bytes += CONTROL_RECORD_SIZE
         self._note_control(offset, marker, producer_id, producer_epoch)
+        if self._seg_limit and len(self._values) >= self._seg_limit:
+            self._seal_head()
         return offset
 
     def append_wire_batch(self, batch: RecordBatch) -> int:
@@ -501,15 +708,24 @@ class PartitionLog:
 
         The batch may overlap records we already hold (the follower refetches
         from its LEO after a timeout); the already-present prefix is skipped.
+        A *gapped* batch — compacted ranges ship per-record ``offsets``, and
+        a retention-advanced leader may answer above the follower's LEO — is
+        only legal on a segmented log: the head is force-sealed and restarts
+        at the batch's base, so the follower holds the same records at the
+        same offsets with a segment boundary where the leader had the gap.
         Returns the number of records actually appended.
         """
         leo = self.log_end_offset
+        if batch.offsets is not None:
+            return self._append_wire_gapped(batch)
         if batch.base_offset > leo:
-            raise ValueError(
-                f"non-contiguous append: expected offset {leo}, "
-                f"got {batch.base_offset}"
-            )
-        if batch.base_offset < leo:
+            if self.storage is None:
+                raise ValueError(
+                    f"non-contiguous append: expected offset {leo}, "
+                    f"got {batch.base_offset}"
+                )
+            self._begin_head_at(batch.base_offset)
+        elif batch.base_offset < leo:
             batch = batch.tail(leo - batch.base_offset)
         count = len(batch)
         if count == 0:
@@ -608,7 +824,31 @@ class PartitionLog:
             self._transactionals.extend([False] * count)
             self._controls.extend([None] * count)
         self._size_bytes += batch.total_size
+        if self._seg_limit and len(self._values) >= self._seg_limit:
+            self._seal_head()
         return count
+
+    def _append_wire_gapped(self, batch: RecordBatch) -> int:
+        """Replicate a gapped (compacted-range) batch: split it into its
+        contiguous runs and append each, force-sealing across the gaps."""
+        if self.storage is None:
+            raise ValueError(
+                "gapped wire batch on a non-segmented log: expected offset "
+                f"{self.log_end_offset}, got offsets {batch.offsets!r}"
+            )
+        offsets = batch.offsets
+        total = len(offsets)
+        appended = 0
+        start = 0
+        while start < total:
+            end = start + 1
+            while end < total and offsets[end] == offsets[end - 1] + 1:
+                end += 1
+            run = batch.run(start, end)
+            if run.next_offset > self.log_end_offset:
+                appended += self.append_wire_batch(run)
+            start = end
+        return appended
 
     def append_record(self, record: LogRecord) -> None:
         """Append a single record view (compat shim for tests/tools)."""
@@ -645,6 +885,357 @@ class PartitionLog:
             self._transactionals.append(False)
             self._controls.append(None)
         self._size_bytes += record.size
+        if self._seg_limit and len(self._values) >= self._seg_limit:
+            self._seal_head()
+
+    # -- segment lifecycle -------------------------------------------------------------
+    def _seal_head(self) -> None:
+        """Move the head columns into a sealed segment (zero copy) and start
+        a fresh head at the next offset.  O(1) in the record count."""
+        count = len(self._values)
+        if count == 0:
+            return
+        segment = SealedSegment(self._base_offset, self._base_offset + count)
+        segment.count = count
+        segment.size_bytes = self._size_bytes
+        segment.max_timestamp = max(self._timestamps[0], self._timestamps[-1])
+        segment.keys = self._keys
+        segment.values = self._values
+        segment.sizes = self._sizes
+        segment.timestamps = self._timestamps
+        segment.produced_ats = self._produced_ats
+        segment.epochs = self._epochs
+        segment.headers = self._headers if self._has_headers else None
+        if self._has_producers:
+            segment.producer_ids = self._producer_ids
+            segment.producer_epochs = self._producer_epochs
+            segment.sequences = self._sequences
+        if self._has_txn:
+            segment.transactionals = self._transactionals
+            segment.controls = self._controls
+        self._sealed.append(segment)
+        self._sealed_bases.append(segment.base_offset)
+        self._sealed_hot_bytes += segment.size_bytes
+        self._base_offset = segment.next_offset
+        self._size_bytes = 0
+        self._keys = []
+        self._values = []
+        self._sizes = []
+        self._timestamps = []
+        self._produced_ats = []
+        self._epochs = []
+        self._headers = []
+        # The lazily-materialized columns restart empty but keep their flags:
+        # once a log saw producers/transactions, every tier carries the
+        # columns consistently.
+        self._producer_ids = []
+        self._producer_epochs = []
+        self._sequences = []
+        self._transactionals = []
+        self._controls = []
+        self._dirty_sealed += 1
+        self.stats["segments_sealed"] += 1
+        storage = self.storage
+        if storage is not None and storage.segment_dir is not None:
+            segment.write_file(self._segment_path(segment.base_offset))
+
+    def _begin_head_at(self, offset: int) -> None:
+        """Seal whatever the head holds and restart it at ``offset`` (replica
+        adopting a leader's retention/compaction gap)."""
+        self._seal_head()
+        if not self._sealed:
+            self._log_start = max(self._log_start, offset)
+        self._base_offset = offset
+
+    def _segment_path(self, base_offset: int) -> str:
+        stem = f"{self._file_tag}-{self.topic}-{self.partition}" if self._file_tag \
+            else f"{self.topic}-{self.partition}"
+        return f"{self.storage.segment_dir}/{segment_file_name(stem, base_offset)}"
+
+    def _ensure_loaded(self, segment: SealedSegment) -> None:
+        """Fault an evicted segment's columns back in from the cold tier."""
+        if not segment.evicted:
+            return
+        segment.load()
+        self._sealed_hot_bytes += segment.size_bytes
+        self.stats["cold_loads"] += 1
+        retention_bytes = self.storage.retention_bytes
+        if retention_bytes is not None and self.size_bytes > retention_bytes:
+            # A consumer scanning cold history must not re-inflate the hot
+            # tier between maintenance passes: push other resident segments
+            # back out so (at worst) only the faulted segment stays hot.
+            for other in self._sealed:
+                if self.size_bytes <= retention_bytes:
+                    break
+                if other is segment or other.evicted:
+                    continue
+                other.evict()
+                self._sealed_hot_bytes -= other.size_bytes
+                self.stats["segments_evicted"] += 1
+
+    def _segment_for(self, offset: int) -> Optional[SealedSegment]:
+        """The sealed segment whose ``[base, next)`` range covers ``offset``."""
+        index = bisect_right(self._sealed_bases, offset) - 1
+        if index < 0:
+            return None
+        segment = self._sealed[index]
+        if offset < segment.next_offset:
+            return segment
+        return None
+
+    # -- maintenance: retention / compaction / eviction ---------------------------------
+    def maybe_maintain(self, now: float) -> None:
+        """One storage-maintenance pass (brokers call this after appends).
+
+        Order matters: compaction first (it shrinks segments, so retention
+        sees real sizes), then time retention (deletes), then the size bound
+        (deletes without a cold tier, evicts with one).
+        """
+        storage = self.storage
+        if storage is None:
+            return
+        if (
+            storage.cleanup_policy == "compact"
+            and self._dirty_sealed >= storage.compaction_min_segments
+        ):
+            self.compact()
+        retention_seconds = storage.retention_seconds
+        if retention_seconds is not None:
+            self._apply_time_retention(now - retention_seconds)
+        if storage.retention_bytes is not None:
+            if storage.segment_dir is not None:
+                self._apply_eviction(storage.retention_bytes)
+            else:
+                self._apply_size_retention(storage.retention_bytes)
+
+    def _drop_segment(self, index: int) -> None:
+        segment = self._sealed.pop(index)
+        self._sealed_bases.pop(index)
+        if not segment.evicted:
+            self._sealed_hot_bytes -= segment.size_bytes
+        self.stats["retention_records_dropped"] += segment.count
+        segment.delete_file()
+        self._log_start = (
+            self._sealed[0].base_offset if self._sealed else self._base_offset
+        )
+        self._dirty_sealed = min(self._dirty_sealed, len(self._sealed))
+
+    def _apply_time_retention(self, cutoff: float) -> None:
+        """Delete whole sealed segments whose newest append is older than the
+        cutoff (cold-tier files included); the head is never deleted."""
+        while self._sealed and self._sealed[0].max_timestamp < cutoff:
+            self._drop_segment(0)
+
+    def _apply_size_retention(self, retention_bytes: int) -> None:
+        """Delete oldest sealed segments while the log exceeds the bound."""
+        while self._sealed and self.total_size_bytes > retention_bytes:
+            self._drop_segment(0)
+
+    def _apply_eviction(self, retention_bytes: int) -> None:
+        """Cold tier: evict oldest sealed segments (columns only — the data
+        stays readable via fault-in) until hot memory fits the bound."""
+        for segment in self._sealed:
+            if self.size_bytes <= retention_bytes:
+                break
+            if segment.evicted:
+                continue
+            segment.evict()
+            self._sealed_hot_bytes -= segment.size_bytes
+            self.stats["segments_evicted"] += 1
+
+    def compact(self) -> int:
+        """Key-compact the sealed segments; returns records removed.
+
+        Deterministic single pass over the sealed tier (the head is never
+        compacted): for every key, only its *latest* data record below the
+        uncleanable bound survives.  Also retained, so log semantics are
+        preserved across the rewrite:
+
+        * control records (COMMIT/ABORT markers) — the LSO/abort replay on
+          followers and recovery needs them;
+        * each producer's latest-sequence record — the dedup table rebuilt
+          from the columns must not regress (aborted records count here too,
+          exactly as their sequences counted when first appended);
+        * every record at or past the uncleanable bound (the earliest still
+          open transaction — Kafka's cleaner also stops at the LSO).
+
+        Retained rows keep their original offsets via the per-segment offset
+        index; segment boundaries never move, so ``log_start_offset`` is
+        unaffected and followers see stable epochs.  Rows of *aborted*
+        transactions lose latest-per-key eligibility entirely (a committed
+        read must never resurrect them) and survive only as producer-state
+        carriers, still masked by ``aborted_ranges``.
+        """
+        if not self._sealed:
+            self._dirty_sealed = 0
+            return 0
+        for segment in self._sealed:
+            self._ensure_loaded(segment)
+        uncleanable = (
+            min(self._open_txn_first.values()) if self._open_txn_first else None
+        )
+        aborted_by_producer: Dict[int, List[Tuple[int, int]]] = {}
+        for first, marker_offset, producer_id in self.aborted_ranges:
+            aborted_by_producer.setdefault(producer_id, []).append(
+                (first, marker_offset)
+            )
+
+        def is_aborted(producer_id: int, offset: int) -> bool:
+            for first, marker_offset in aborted_by_producer.get(producer_id, ()):
+                if first <= offset < marker_offset:
+                    return True
+            return False
+
+        latest_by_key: Dict[Any, int] = {}
+        latest_by_producer: Dict[int, int] = {}
+        for segment in self._sealed:
+            controls = segment.controls
+            producer_ids = segment.producer_ids
+            keys = segment.keys
+            for index in range(segment.count):
+                offset = segment.offset_at(index)
+                if uncleanable is not None and offset >= uncleanable:
+                    break
+                if controls is not None and controls[index] is not None:
+                    continue
+                producer_id = producer_ids[index] if producer_ids is not None else -1
+                if producer_id >= 0:
+                    latest_by_producer[producer_id] = offset
+                    if is_aborted(producer_id, offset):
+                        continue
+                latest_by_key[keys[index]] = offset
+        removed = 0
+        drop_indices: List[int] = []
+        for position, segment in enumerate(self._sealed):
+            controls = segment.controls
+            producer_ids = segment.producer_ids
+            keys = segment.keys
+            keep: List[int] = []
+            for index in range(segment.count):
+                offset = segment.offset_at(index)
+                if uncleanable is not None and offset >= uncleanable:
+                    keep.append(index)
+                    continue
+                if controls is not None and controls[index] is not None:
+                    keep.append(index)
+                    continue
+                producer_id = producer_ids[index] if producer_ids is not None else -1
+                if producer_id >= 0 and latest_by_producer.get(producer_id) == offset:
+                    keep.append(index)
+                    continue
+                if (
+                    latest_by_key.get(keys[index]) == offset
+                    and not (producer_id >= 0 and is_aborted(producer_id, offset))
+                ):
+                    keep.append(index)
+            if len(keep) == segment.count:
+                continue
+            removed += segment.count - len(keep)
+            self._rewrite_segment(segment, keep)
+            if segment.count == 0:
+                drop_indices.append(position)
+        for position in reversed(drop_indices):
+            segment = self._sealed.pop(position)
+            self._sealed_bases.pop(position)
+            segment.delete_file()
+            # An emptied segment's boundary range is simply absorbed by its
+            # neighbours; the log start never advances on compaction.
+        self.stats["compaction_records_removed"] += removed
+        self._dirty_sealed = 0
+        return removed
+
+    def _rewrite_segment(self, segment: SealedSegment, keep: List[int]) -> None:
+        """Rewrite one sealed segment in place to the ``keep`` row subset,
+        materializing its offset index (rows keep original offsets)."""
+        old_bytes = segment.size_bytes
+        segment.offsets = [segment.offset_at(index) for index in keep]
+        segment.keys = [segment.keys[index] for index in keep]
+        segment.values = [segment.values[index] for index in keep]
+        segment.sizes = [segment.sizes[index] for index in keep]
+        segment.timestamps = [segment.timestamps[index] for index in keep]
+        segment.produced_ats = [segment.produced_ats[index] for index in keep]
+        segment.epochs = [segment.epochs[index] for index in keep]
+        if segment.headers is not None:
+            segment.headers = [segment.headers[index] for index in keep]
+        if segment.producer_ids is not None:
+            segment.producer_ids = [segment.producer_ids[index] for index in keep]
+            segment.producer_epochs = [
+                segment.producer_epochs[index] for index in keep
+            ]
+            segment.sequences = [segment.sequences[index] for index in keep]
+        if segment.transactionals is not None:
+            segment.transactionals = [
+                segment.transactionals[index] for index in keep
+            ]
+        if segment.controls is not None:
+            segment.controls = [segment.controls[index] for index in keep]
+        segment.count = len(keep)
+        segment.size_bytes = sum(segment.sizes)
+        self._sealed_hot_bytes += segment.size_bytes - old_bytes
+        if segment.file_path is not None and segment.count > 0:
+            segment.write_file(segment.file_path)
+
+    # -- recovery -----------------------------------------------------------------------
+    @classmethod
+    def recover(
+        cls,
+        topic: str,
+        partition: int,
+        storage: LogStorageConfig,
+        file_tag: str = "",
+    ) -> "PartitionLog":
+        """Bootstrap a replica by replaying its cold-tier segment files.
+
+        Loads every segment file in base-offset order, adopts the sealed
+        tier, then rebuilds the derived state the same way follower
+        replication does — epoch boundaries, the producer dedup table and
+        the transaction (LSO/abort/fencing) state — so the recovered log is
+        indistinguishable from one that replicated every record.  The high
+        watermark restarts at 0 (the recovered replica re-learns it from the
+        leader, exactly like a follower rejoining after an outage).
+        """
+        if storage.segment_dir is None:
+            raise ValueError("recovery needs a cold tier (segment_dir unset)")
+        log = cls(topic, partition, storage=storage, file_tag=file_tag)
+        stem = f"{file_tag}-{topic}-{partition}" if file_tag \
+            else f"{topic}-{partition}"
+        for path in list_segment_files(storage.segment_dir, stem):
+            segment = SealedSegment.from_file(path)
+            log._sealed.append(segment)
+            log._sealed_bases.append(segment.base_offset)
+            log._sealed_hot_bytes += segment.size_bytes
+        if log._sealed:
+            log._log_start = log._sealed[0].base_offset
+            log._base_offset = log._sealed[-1].next_offset
+            log._rebuild_epoch_boundaries()
+            log._rebuild_producer_state()
+            log._rebuild_txn_state()
+            if log.producer_state:
+                log._has_producers = True
+            if any(
+                segment.transactionals is not None or segment.controls is not None
+                for segment in log._sealed
+            ):
+                log._has_txn = True
+        return log
+
+    def _rebuild_epoch_boundaries(self) -> None:
+        """Recompute the leader epoch cache from the epoch columns (recovery)."""
+        boundaries: List[Tuple[int, int]] = []
+        last: Optional[int] = None
+        for segment in self._sealed:
+            epochs = segment.epochs
+            for index in range(segment.count):
+                epoch = epochs[index]
+                if epoch != last:
+                    boundaries.append((epoch, segment.offset_at(index)))
+                    last = epoch
+        base = self._base_offset
+        for index, epoch in enumerate(self._epochs):
+            if epoch != last:
+                boundaries.append((epoch, base + index))
+                last = epoch
+        self.epoch_boundaries = boundaries
 
     # -- reads -------------------------------------------------------------------------
     def _clamp_range(
@@ -673,8 +1264,13 @@ class PartitionLog:
         """Read a contiguous range as one columnar :class:`RecordBatch`.
 
         This is the fetch-side hot path: column slices plus one size sum over
-        ints — no per-record objects.
+        ints — no per-record objects.  Reads below the head are served from
+        *one* sealed segment per call (located by bisect): fetch replies stop
+        at segment boundaries and the consumer's next poll continues in the
+        following segment, mirroring Kafka's one-segment fetch answers.
         """
+        if from_offset < self._base_offset and self._sealed:
+            return self._read_sealed(from_offset, max_records, up_to, with_epochs)
         start, end = self._clamp_range(from_offset, max_records, up_to)
         if start >= end:
             return EMPTY_BATCH
@@ -726,6 +1322,95 @@ class PartitionLog:
             headers=headers if headers is not None and any(headers) else None,
         )
 
+    def _read_sealed(
+        self,
+        from_offset: int,
+        max_records: Optional[int],
+        up_to: Optional[int],
+        with_epochs: bool,
+    ) -> RecordBatch:
+        """Serve a below-head read out of the sealed tier (bisect lookup)."""
+        end_limit = self.log_end_offset if up_to is None else min(
+            up_to, self.log_end_offset
+        )
+        if from_offset < self._log_start:
+            from_offset = self._log_start
+        index = bisect_right(self._sealed_bases, from_offset) - 1
+        if index < 0:
+            index = 0
+        while index < len(self._sealed):
+            segment = self._sealed[index]
+            if segment.base_offset >= end_limit:
+                return EMPTY_BATCH
+            start, end = segment.index_range(from_offset, end_limit)
+            if max_records is not None:
+                end = min(end, start + max_records)
+            if start < end:
+                return self._segment_batch(segment, start, end, with_epochs)
+            index += 1
+        # Past the sealed tier (a gap right before the head): serve the head.
+        return self.read_batch(self._base_offset, max_records, up_to, with_epochs)
+
+    def _segment_batch(
+        self, segment: SealedSegment, start: int, end: int, with_epochs: bool
+    ) -> RecordBatch:
+        """Column slices of one sealed segment as a RecordBatch (faults the
+        segment in from the cold tier first when evicted)."""
+        self._ensure_loaded(segment)
+        headers = segment.headers[start:end] if segment.headers is not None else None
+        producer_ids = None
+        if with_epochs and segment.producer_ids is not None:
+            producer_ids = segment.producer_ids[start:end]
+            if not any(pid >= 0 for pid in producer_ids):
+                producer_ids = None
+        transactionals = None
+        controls = None
+        if with_epochs and (
+            segment.transactionals is not None or segment.controls is not None
+        ):
+            transactionals = (
+                segment.transactionals[start:end]
+                if segment.transactionals is not None
+                else [False] * (end - start)
+            )
+            controls = (
+                segment.controls[start:end]
+                if segment.controls is not None
+                else [None] * (end - start)
+            )
+            if not any(transactionals) and not any(
+                control is not None for control in controls
+            ):
+                transactionals = None
+                controls = None
+        batch = RecordBatch.from_columns(
+            self.topic,
+            self.partition,
+            base_offset=segment.offset_at(start),
+            keys=segment.keys[start:end],
+            values=segment.values[start:end],
+            sizes=segment.sizes[start:end],
+            produced_ats=segment.produced_ats[start:end],
+            timestamps=segment.timestamps[start:end],
+            leader_epochs=segment.epochs[start:end] if with_epochs else None,
+            producer_ids=producer_ids,
+            producer_epochs=(
+                segment.producer_epochs[start:end]
+                if producer_ids is not None
+                else None
+            ),
+            sequences=(
+                segment.sequences[start:end] if producer_ids is not None else None
+            ),
+            transactionals=transactionals,
+            controls=controls,
+            headers=headers if headers is not None and any(headers) else None,
+        )
+        if segment.offsets is not None:
+            # Compacted range: retained rows keep original (gapped) offsets.
+            batch.offsets = segment.offsets[start:end]
+        return batch
+
     def committed_read_batch(
         self, from_offset: int, max_records: Optional[int] = None
     ) -> RecordBatch:
@@ -741,6 +1426,33 @@ class PartitionLog:
         up_to: Optional[int] = None,
     ) -> List[LogRecord]:
         """Read records starting at ``from_offset`` as materialized views."""
+        if from_offset < self._base_offset and self._sealed:
+            records: List[LogRecord] = []
+            end_limit = self.log_end_offset if up_to is None else min(
+                up_to, self.log_end_offset
+            )
+            start_offset = max(from_offset, self._log_start)
+            for segment in self._sealed:
+                if segment.base_offset >= end_limit:
+                    return records
+                if segment.next_offset <= start_offset:
+                    continue
+                lo, hi = segment.index_range(start_offset, end_limit)
+                if max_records is not None:
+                    hi = min(hi, lo + (max_records - len(records)))
+                if lo < hi:
+                    self._ensure_loaded(segment)
+                    records.extend(
+                        self._segment_record_view(segment, index)
+                        for index in range(lo, hi)
+                    )
+                if max_records is not None and len(records) >= max_records:
+                    return records
+            remaining = None if max_records is None else max_records - len(records)
+            records.extend(
+                self.read(self._base_offset, remaining, up_to)
+            )
+            return records
         start, end = self._clamp_range(from_offset, max_records, up_to)
         return [self._record_view(index) for index in range(start, end)]
 
@@ -754,10 +1466,27 @@ class PartitionLog:
         index = offset - self._base_offset
         if 0 <= index < len(self._values):
             return self._record_view(index)
+        if offset < self._base_offset and self._sealed:
+            segment = self._segment_for(offset)
+            if segment is not None:
+                row = segment.index_of(offset)
+                if row is not None:
+                    self._ensure_loaded(segment)
+                    return self._segment_record_view(segment, row)
         return None
 
     def all_records(self) -> List[LogRecord]:
-        return [self._record_view(index) for index in range(len(self._values))]
+        records: List[LogRecord] = []
+        for segment in self._sealed:
+            self._ensure_loaded(segment)
+            records.extend(
+                self._segment_record_view(segment, index)
+                for index in range(segment.count)
+            )
+        records.extend(
+            self._record_view(index) for index in range(len(self._values))
+        )
+        return records
 
     def _record_view(self, index: int) -> LogRecord:
         has_producers = self._has_producers
@@ -775,6 +1504,24 @@ class PartitionLog:
             sequence=self._sequences[index] if has_producers else -1,
         )
 
+    def _segment_record_view(self, segment: SealedSegment, index: int) -> LogRecord:
+        producer_ids = segment.producer_ids
+        return LogRecord(
+            offset=segment.offset_at(index),
+            key=segment.keys[index],
+            value=segment.values[index],
+            size=segment.sizes[index],
+            timestamp=segment.timestamps[index],
+            produced_at=segment.produced_ats[index],
+            leader_epoch=segment.epochs[index],
+            headers=(segment.headers[index] or {}) if segment.headers else {},
+            producer_id=producer_ids[index] if producer_ids is not None else -1,
+            producer_epoch=(
+                segment.producer_epochs[index] if producer_ids is not None else -1
+            ),
+            sequence=segment.sequences[index] if producer_ids is not None else -1,
+        )
+
     # -- watermark / truncation ------------------------------------------------------------
     def advance_high_watermark(self, offset: int) -> None:
         """Move the high watermark forward (never backwards) up to the log end."""
@@ -790,10 +1537,15 @@ class PartitionLog:
         Returns the discarded records.  This is the mechanism behind the
         silent message loss observed with ZooKeeper-based Kafka: a stale
         leader that accepted writes during a partition truncates them away
-        when it rejoins and follows the new leader.
+        when it rejoins and follows the new leader.  A cut below the head's
+        base offset slices into the sealed tier: later segments are dropped
+        whole, the boundary segment is rewritten in place, and the head
+        restarts empty at the cut.
         """
         if offset >= self.log_end_offset:
             return []
+        if offset < self._base_offset:
+            return self._truncate_into_sealed(offset)
         keep = max(0, offset - self._base_offset)
         discarded = [
             self._record_view(index) for index in range(keep, len(self._values))
@@ -827,6 +1579,61 @@ class PartitionLog:
         if self._has_txn:
             # Same for the transaction state: a discarded marker re-opens its
             # transaction, a discarded open re-closes it.
+            self._rebuild_txn_state()
+        return discarded
+
+    def _truncate_into_sealed(self, offset: int) -> List[LogRecord]:
+        """Truncation whose cut lands inside (or before) the sealed tier."""
+        offset = max(offset, self._log_start)
+        discarded: List[LogRecord] = []
+        keep_sealed: List[SealedSegment] = []
+        for segment in self._sealed:
+            if segment.next_offset <= offset:
+                keep_sealed.append(segment)
+                continue
+            self._ensure_loaded(segment)
+            cut, _ = segment.index_range(offset, segment.next_offset)
+            discarded.extend(
+                self._segment_record_view(segment, index)
+                for index in range(cut, segment.count)
+            )
+            if cut > 0:
+                self._rewrite_segment(segment, list(range(cut)))
+                segment.next_offset = offset
+                keep_sealed.append(segment)
+            else:
+                self._sealed_hot_bytes -= segment.size_bytes
+                segment.delete_file()
+        # Everything in the head is beyond the cut: discard it wholesale.
+        discarded.extend(
+            self._record_view(index) for index in range(len(self._values))
+        )
+        self._size_bytes = 0
+        self._keys = []
+        self._values = []
+        self._sizes = []
+        self._timestamps = []
+        self._produced_ats = []
+        self._epochs = []
+        self._headers = []
+        self._producer_ids = []
+        self._producer_epochs = []
+        self._sequences = []
+        self._transactionals = []
+        self._controls = []
+        self._sealed = keep_sealed
+        self._sealed_bases = [segment.base_offset for segment in keep_sealed]
+        self._base_offset = offset
+        self._dirty_sealed = min(self._dirty_sealed, len(keep_sealed))
+        self.truncated_records += len(discarded)
+        self.high_watermark = min(self.high_watermark, self.log_end_offset)
+        self.epoch_boundaries = [
+            (epoch, start) for epoch, start in self.epoch_boundaries
+            if start < self.log_end_offset
+        ]
+        if self._has_producers:
+            self._rebuild_producer_state()
+        if self._has_txn:
             self._rebuild_txn_state()
         return discarded
 

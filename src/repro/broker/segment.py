@@ -1,0 +1,394 @@
+"""Segmented log storage: sealed segments, cold-tier files, storage config.
+
+A :class:`~repro.broker.log.PartitionLog` with storage enabled is a sequence
+of immutable **sealed segments** plus one mutable **head segment** (the log's
+existing columnar arrays).  When the head reaches ``segment_records`` rows it
+is *sealed*: its column lists move wholesale (zero copy) into a
+:class:`SealedSegment` and the head restarts empty at the next offset.
+Fetches below the head locate their segment by bisect over the sealed base
+offsets — O(log S) instead of assuming one flat array.
+
+Sealed segments are what retention, compaction and tiering operate on:
+
+* **retention** drops whole sealed segments (never the head) and advances
+  the log start offset;
+* **compaction** rewrites sealed segments in place keeping the latest value
+  per key (retained rows keep their original offsets via a per-segment
+  ``offsets`` index, so compacted segments are *gapped* but never renumber);
+* the **cold tier** serializes each sealed segment to one file at seal time
+  (the payload is the segment's full :class:`~repro.broker.batch.RecordBatch`
+  — the same wire encoding replica fetches ship) so its columns can be
+  evicted from memory and faulted back on fetch, and a replica can bootstrap
+  an entire log by replaying the segment files
+  (:meth:`~repro.broker.log.PartitionLog.recover`).
+
+The module also owns the session-wide *log backend* default (mirroring the
+engine-path switch): ``pytest --log-backend=segments`` makes every
+``PartitionLog`` created without explicit storage run segmented, which is how
+the broker/chaos suites re-run against this plane.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from bisect import bisect_left
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Segment roll size used when ``--log-backend=segments`` forces segmentation
+#: on logs that did not configure storage explicitly.  Small enough that the
+#: ordinary unit/chaos suites actually roll (and so exercise sealed-segment
+#: reads), large enough that micro-tests stay fast.
+SEGMENTS_BACKEND_DEFAULT_RECORDS = 512
+
+#: Segment roll size used when a topic opts into retention/compaction without
+#: choosing an explicit ``segment_records`` (rolling is what makes whole-
+#: segment retention/compaction possible at all).
+DEFAULT_SEGMENT_RECORDS = 4096
+
+#: Cold-tier segment file format version (pickled payload header).
+SEGMENT_FILE_VERSION = 1
+
+_default_backend = "memory"
+
+
+def set_default_log_backend(backend: str) -> None:
+    """Set the session-wide storage plane for logs without explicit config.
+
+    ``"memory"`` (the default) keeps the flat single-array layout —
+    byte-identical to the pre-segmentation log.  ``"segments"`` gives every
+    :class:`~repro.broker.log.PartitionLog` created *without* an explicit
+    :class:`LogStorageConfig` a segmented layout with
+    :data:`SEGMENTS_BACKEND_DEFAULT_RECORDS` rows per segment (no retention,
+    no compaction — pure segmentation), which is what
+    ``pytest --log-backend=segments`` uses to re-run the broker and chaos
+    suites on segmented storage.
+    """
+    if backend not in ("memory", "segments"):
+        raise ValueError(
+            f"unknown log backend {backend!r}; expected 'memory' or 'segments'"
+        )
+    global _default_backend
+    _default_backend = backend
+
+
+def default_log_backend() -> str:
+    return _default_backend
+
+
+@dataclass
+class LogStorageConfig:
+    """Storage shape of one partition log (``None`` anywhere = flat memory).
+
+    Attributes
+    ----------
+    segment_records:
+        Seal the head segment once it holds this many records (``None`` =
+        never roll: the log stays one flat array, today's layout).
+    retention_bytes:
+        Size bound.  Without a cold tier, the oldest sealed segments are
+        *deleted* while the log's total bytes exceed this.  With a cold tier
+        (``segment_dir`` set) they are *evicted* to their segment files
+        instead — the hot tier stays under the bound but every offset remains
+        readable (faulted back on fetch).
+    retention_ms:
+        Time bound in milliseconds (Kafka's unit): sealed segments whose
+        newest append timestamp is older than this are deleted — from memory
+        *and* the cold tier — and ``log_start_offset`` advances.
+    cleanup_policy:
+        ``"delete"`` (retention only, the default) or ``"compact"`` — sealed
+        segments are periodically rewritten keeping only the latest value per
+        key (plus control markers and producer-state carriers; see
+        ``docs/log_storage.md``).
+    segment_dir:
+        Directory for cold-tier segment files (``None`` = memory-only
+        segments).  Sealed segments are written through at seal time and the
+        file is kept in sync by compaction/truncation.
+    compaction_min_segments:
+        Run the compactor once this many *newly sealed* segments accumulated
+        since the last pass (batching keeps the pass amortized).
+    """
+
+    segment_records: Optional[int] = None
+    retention_bytes: Optional[int] = None
+    retention_ms: Optional[float] = None
+    cleanup_policy: str = "delete"
+    segment_dir: Optional[str] = None
+    compaction_min_segments: int = 2
+
+    def __post_init__(self) -> None:
+        if self.cleanup_policy not in ("delete", "compact"):
+            raise ValueError(
+                f"unknown cleanup_policy {self.cleanup_policy!r}; expected "
+                "'delete' or 'compact'"
+            )
+        if self.segment_records is not None and self.segment_records <= 0:
+            raise ValueError("segment_records must be positive")
+        if self.retention_bytes is not None and self.retention_bytes <= 0:
+            raise ValueError("retention_bytes must be positive")
+        if self.retention_ms is not None and self.retention_ms <= 0:
+            raise ValueError("retention_ms must be positive")
+        if self.compaction_min_segments <= 0:
+            raise ValueError("compaction_min_segments must be positive")
+
+    @property
+    def retention_seconds(self) -> Optional[float]:
+        """``retention_ms`` in the simulator's clock unit (seconds)."""
+        if self.retention_ms is None:
+            return None
+        return self.retention_ms / 1000.0
+
+
+def resolve_log_storage(
+    overrides: Optional[Dict[str, Any]],
+    default: Optional[LogStorageConfig],
+) -> Optional[LogStorageConfig]:
+    """Effective storage config for one partition replica.
+
+    ``overrides`` is the per-topic dict the coordinator ships in its metadata
+    snapshot (only for topics that set non-default storage); ``default`` is
+    the broker-level :class:`LogStorageConfig` (cluster-wide knobs).  Returns
+    ``None`` for the flat memory layout — the session backend default is then
+    applied by ``PartitionLog`` itself.
+    """
+    if overrides:
+        base = default if default is not None else LogStorageConfig()
+        merged = replace(base, **overrides)
+        if merged.segment_records is None:
+            # A topic that asked for retention/compaction needs the log to
+            # actually roll; give it the stock segment size.
+            merged.segment_records = DEFAULT_SEGMENT_RECORDS
+        return merged
+    return default
+
+
+def session_default_storage() -> Optional[LogStorageConfig]:
+    """Storage applied to logs constructed without explicit config."""
+    if _default_backend == "segments":
+        return LogStorageConfig(segment_records=SEGMENTS_BACKEND_DEFAULT_RECORDS)
+    return None
+
+
+def segment_file_name(stem: str, base_offset: int) -> str:
+    """Kafka-style zero-padded segment file name (sorts by base offset)."""
+    return f"{stem}-{base_offset:020d}.seg"
+
+
+def list_segment_files(segment_dir: str, stem: str) -> List[str]:
+    """Paths of ``stem``'s segment files in base-offset order."""
+    prefix = f"{stem}-"
+    try:
+        names = os.listdir(segment_dir)
+    except FileNotFoundError:
+        return []
+    matches = [
+        name
+        for name in names
+        if name.startswith(prefix) and name.endswith(".seg")
+    ]
+    return [os.path.join(segment_dir, name) for name in sorted(matches)]
+
+
+class SealedSegment:
+    """One immutable sealed chunk of a partition log.
+
+    Columns mirror the head layout; the gated columns (producer identity,
+    transaction, headers) are ``None`` when the segment holds none.  A
+    ``None`` ``offsets`` index means the rows are contiguous
+    ``[base_offset, next_offset)``; after compaction the retained rows keep
+    their original offsets in an explicit sorted ``offsets`` list (the
+    per-segment index fetches bisect).  The index and boundary metadata stay
+    resident even while the data columns are **evicted** to the segment file.
+    """
+
+    __slots__ = (
+        "base_offset",
+        "next_offset",
+        "count",
+        "size_bytes",
+        "max_timestamp",
+        "offsets",
+        "keys",
+        "values",
+        "sizes",
+        "timestamps",
+        "produced_ats",
+        "epochs",
+        "headers",
+        "producer_ids",
+        "producer_epochs",
+        "sequences",
+        "transactionals",
+        "controls",
+        "evicted",
+        "file_path",
+    )
+
+    def __init__(self, base_offset: int, next_offset: int) -> None:
+        self.base_offset = base_offset
+        #: Offset boundary this segment covered when sealed.  Compaction
+        #: shrinks ``count`` but never the ``[base_offset, next_offset)``
+        #: range, so segment boundaries stay contiguous across the log.
+        self.next_offset = next_offset
+        self.count = 0
+        self.size_bytes = 0
+        self.max_timestamp = 0.0
+        self.offsets: Optional[List[int]] = None
+        self.keys: Optional[List[Any]] = None
+        self.values: Optional[List[Any]] = None
+        self.sizes: Optional[List[int]] = None
+        self.timestamps: Optional[List[float]] = None
+        self.produced_ats: Optional[List[float]] = None
+        self.epochs: Optional[List[int]] = None
+        self.headers: Optional[List[Optional[Dict[str, Any]]]] = None
+        self.producer_ids: Optional[List[int]] = None
+        self.producer_epochs: Optional[List[int]] = None
+        self.sequences: Optional[List[int]] = None
+        self.transactionals: Optional[List[bool]] = None
+        self.controls: Optional[List[Optional[Tuple[str, int, int]]]] = None
+        self.evicted = False
+        self.file_path: Optional[str] = None
+
+    # -- offset index -----------------------------------------------------------------
+    def offset_at(self, index: int) -> int:
+        if self.offsets is None:
+            return self.base_offset + index
+        return self.offsets[index]
+
+    def index_of(self, offset: int) -> Optional[int]:
+        """Row index of ``offset`` (None when compacted away / out of range)."""
+        if self.offsets is None:
+            index = offset - self.base_offset
+            if 0 <= index < self.count:
+                return index
+            return None
+        index = bisect_left(self.offsets, offset)
+        if index < self.count and self.offsets[index] == offset:
+            return index
+        return None
+
+    def index_range(self, from_offset: int, up_to: int) -> Tuple[int, int]:
+        """Row range ``[start, end)`` covering offsets ``[from_offset, up_to)``."""
+        if self.offsets is None:
+            start = max(0, from_offset - self.base_offset)
+            end = min(self.count, up_to - self.base_offset)
+        else:
+            start = bisect_left(self.offsets, from_offset)
+            end = bisect_left(self.offsets, up_to)
+        return start, max(start, end)
+
+    # -- cold tier --------------------------------------------------------------------
+    def write_file(self, path: str) -> None:
+        """Write-through serialization (called at seal / after a rewrite).
+
+        The payload reuses the columnar :class:`RecordBatch`-shaped layout of
+        the wire format: plain parallel column lists plus the header fields,
+        so a reader replays it exactly like a replica fetch would.
+        """
+        payload = {
+            "version": SEGMENT_FILE_VERSION,
+            "base_offset": self.base_offset,
+            "next_offset": self.next_offset,
+            "max_timestamp": self.max_timestamp,
+            "offsets": self.offsets,
+            "keys": self.keys,
+            "values": self.values,
+            "sizes": self.sizes,
+            "timestamps": self.timestamps,
+            "produced_ats": self.produced_ats,
+            "epochs": self.epochs,
+            "headers": self.headers,
+            "producer_ids": self.producer_ids,
+            "producer_epochs": self.producer_epochs,
+            "sequences": self.sequences,
+            "transactionals": self.transactionals,
+            "controls": self.controls,
+        }
+        tmp_path = path + ".tmp"
+        with open(tmp_path, "wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp_path, path)
+        self.file_path = path
+
+    def evict(self) -> None:
+        """Drop the data columns; the file (and the offset index) remain."""
+        if self.file_path is None:
+            raise RuntimeError("cannot evict a sealed segment with no cold file")
+        self.keys = None
+        self.values = None
+        self.sizes = None
+        self.timestamps = None
+        self.produced_ats = None
+        self.epochs = None
+        self.headers = None
+        self.producer_ids = None
+        self.producer_epochs = None
+        self.sequences = None
+        self.transactionals = None
+        self.controls = None
+        self.evicted = True
+
+    def load(self) -> None:
+        """Fault the data columns back in from the segment file."""
+        if not self.evicted:
+            return
+        if self.file_path is None:
+            raise RuntimeError("evicted segment has no cold file to load")
+        payload = _read_segment_file(self.file_path)
+        self._adopt_payload(payload)
+        self.evicted = False
+
+    def _adopt_payload(self, payload: Dict[str, Any]) -> None:
+        self.offsets = payload["offsets"]
+        self.keys = payload["keys"]
+        self.values = payload["values"]
+        self.sizes = payload["sizes"]
+        self.timestamps = payload["timestamps"]
+        self.produced_ats = payload["produced_ats"]
+        self.epochs = payload["epochs"]
+        self.headers = payload["headers"]
+        self.producer_ids = payload["producer_ids"]
+        self.producer_epochs = payload["producer_epochs"]
+        self.sequences = payload["sequences"]
+        self.transactionals = payload["transactionals"]
+        self.controls = payload["controls"]
+        self.count = len(self.values)
+        self.size_bytes = sum(self.sizes)
+        self.max_timestamp = payload["max_timestamp"]
+
+    def delete_file(self) -> None:
+        if self.file_path is None:
+            return
+        try:
+            os.remove(self.file_path)
+        except FileNotFoundError:
+            pass
+        self.file_path = None
+
+    @classmethod
+    def from_file(cls, path: str) -> "SealedSegment":
+        """Load one segment file (replica bootstrap / recovery path)."""
+        payload = _read_segment_file(path)
+        segment = cls(payload["base_offset"], payload["next_offset"])
+        segment._adopt_payload(payload)
+        segment.file_path = path
+        return segment
+
+    def __repr__(self) -> str:
+        state = "cold" if self.evicted else "hot"
+        return (
+            f"<SealedSegment [{self.base_offset},{self.next_offset}) "
+            f"n={self.count} bytes={self.size_bytes} {state}>"
+        )
+
+
+def _read_segment_file(path: str) -> Dict[str, Any]:
+    with open(path, "rb") as handle:
+        payload = pickle.load(handle)
+    version = payload.get("version")
+    if version != SEGMENT_FILE_VERSION:
+        raise ValueError(
+            f"unsupported segment file version {version!r} in {path}"
+        )
+    return payload

@@ -128,6 +128,10 @@ def build_cluster(
                 partitions=topic.partitions,
                 replication_factor=topic.replicas,
                 preferred_leader=preferred,
+                segment_records=topic.segment_records,
+                retention_bytes=topic.retention_bytes,
+                retention_ms=topic.retention_ms,
+                cleanup_policy=topic.cleanup_policy,
             )
         )
     return cluster

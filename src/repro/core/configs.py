@@ -80,14 +80,28 @@ class TopicSpec:
     partitions: int = 1
     replicas: int = 1
     primary_broker: Optional[str] = None
+    #: Per-topic log storage knobs (YAML ``segmentRecords`` /
+    #: ``retentionBytes`` / ``retentionMs`` / ``cleanupPolicy``); ``None``
+    #: inherits the cluster/broker default.
+    segment_records: Optional[int] = None
+    retention_bytes: Optional[int] = None
+    retention_ms: Optional[float] = None
+    cleanup_policy: Optional[str] = None
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "TopicSpec":
+        segment_records = data.get("segmentRecords", data.get("segment_records"))
+        retention_bytes = data.get("retentionBytes", data.get("retention_bytes"))
+        retention_ms = data.get("retentionMs", data.get("retention_ms"))
         return cls(
             name=data.get("name") or data.get("topicName"),
             partitions=int(data.get("partitions", 1)),
             replicas=int(data.get("replicas", data.get("replicationFactor", 1))),
             primary_broker=data.get("primaryBroker") or data.get("primary_broker"),
+            segment_records=None if segment_records is None else int(segment_records),
+            retention_bytes=None if retention_bytes is None else int(retention_bytes),
+            retention_ms=None if retention_ms is None else float(retention_ms),
+            cleanup_policy=data.get("cleanupPolicy", data.get("cleanup_policy")),
         )
 
 

@@ -139,17 +139,25 @@ class TaskDescription:
         return link
 
     def set_topics(self, topics: List[TopicSpec]) -> None:
-        self.graph_attributes["topicCfg"] = {
-            "topics": [
-                {
-                    "name": topic.name,
-                    "partitions": topic.partitions,
-                    "replicas": topic.replicas,
-                    "primaryBroker": topic.primary_broker,
-                }
-                for topic in topics
-            ]
-        }
+        entries = []
+        for topic in topics:
+            entry = {
+                "name": topic.name,
+                "partitions": topic.partitions,
+                "replicas": topic.replicas,
+                "primaryBroker": topic.primary_broker,
+            }
+            # Storage knobs only when set, keeping default documents stable.
+            if topic.segment_records is not None:
+                entry["segmentRecords"] = topic.segment_records
+            if topic.retention_bytes is not None:
+                entry["retentionBytes"] = topic.retention_bytes
+            if topic.retention_ms is not None:
+                entry["retentionMs"] = topic.retention_ms
+            if topic.cleanup_policy is not None:
+                entry["cleanupPolicy"] = topic.cleanup_policy
+            entries.append(entry)
+        self.graph_attributes["topicCfg"] = {"topics": entries}
 
     def set_faults(self, faults: List[FaultSpec]) -> None:
         self.graph_attributes["faultCfg"] = {

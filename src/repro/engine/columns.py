@@ -101,6 +101,7 @@ class ColumnBatch:
         count = len(batch)
         if skip:
             base = batch.base_offset
+            offsets = batch.offsets  # gapped (compacted-range) batches only
             values = self.values
             keys = self.keys
             event_times = self.event_times
@@ -111,7 +112,8 @@ class ColumnBatch:
             batch_sizes = batch.sizes
             batch_produced = batch.produced_ats
             for index, value in enumerate(batch.values):
-                if base + index in skip:
+                offset = offsets[index] if offsets is not None else base + index
+                if offset in skip:
                     continue
                 values.append(value)
                 keys.append(batch_keys[index])

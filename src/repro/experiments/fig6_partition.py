@@ -84,6 +84,12 @@ class Fig6Config:
     #: Catalog-wide engine-path knob.  Figure 6 is broker-only (no SPE), so
     #: this is accepted for ``--set vectorized=false`` uniformity and ignored.
     vectorized: bool = True
+    #: Segmented log storage knobs, sweepable catalog-wide (``--set
+    #: segment_records=256`` etc.).  All unset = today's flat in-memory log.
+    segment_records: Optional[int] = None
+    retention_bytes: Optional[int] = None
+    retention_ms: Optional[float] = None
+    cleanup_policy: str = "delete"
 
 
 @dataclass
@@ -100,6 +106,8 @@ class Fig6Result:
     messages_produced: int
     messages_consumed: int
     disconnect_window: tuple
+    #: Storage-plane aggregates (all zero unless segmentation was enabled).
+    storage: Dict[str, int] = field(default_factory=dict)
 
     def loss_only_on_topic_a(self) -> bool:
         other = {
@@ -141,6 +149,10 @@ def run_fig6(config: Optional[Fig6Config] = None) -> Fig6Result:
             mode=config.mode,
             session_timeout=config.session_timeout,
             preferred_election_interval=config.preferred_election_interval,
+            segment_records=config.segment_records,
+            retention_bytes=config.retention_bytes,
+            retention_ms=config.retention_ms,
+            cleanup_policy=config.cleanup_policy,
         ),
     )
     for site in sites:
@@ -261,6 +273,12 @@ def run_fig6(config: Optional[Fig6Config] = None) -> Fig6Result:
             config.disconnect_start,
             config.disconnect_start + config.disconnect_duration,
         ),
+        storage={
+            "segments_sealed": cluster.total_segments_sealed(),
+            "segments_evicted": cluster.total_segments_evicted(),
+            "retention_records_dropped": cluster.total_retention_records_dropped(),
+            "compaction_records_removed": cluster.total_compaction_records_removed(),
+        },
     )
 
 
@@ -340,6 +358,11 @@ def scenario_metrics(results: Dict[str, Fig6Result]) -> Dict[str, object]:
         metrics[f"{mode}_consumed"] = result.messages_consumed
         metrics[f"{mode}_acked_but_lost"] = result.acked_but_lost
         metrics[f"{mode}_elections"] = len(result.election_times())
+        # Storage-plane counters only when the run actually exercised the
+        # segmented log (zero-noise metrics stay out of RunResult.metrics).
+        for name, value in result.storage.items():
+            if value:
+                metrics[f"{mode}_{name}"] = value
     return metrics
 
 

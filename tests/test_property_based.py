@@ -6,6 +6,7 @@ from hypothesis import strategies as st
 from repro.broker.batch import RecordBatch
 from repro.broker.log import PartitionLog
 from repro.broker.message import ProducerRecord, _stable_hash
+from repro.broker.segment import LogStorageConfig
 from repro.core.configs import _duration_to_seconds, _size_to_bytes
 from repro.core.visualization import cdf, percentile, summarize_distribution
 from repro.network.addressing import AddressAllocator
@@ -152,6 +153,104 @@ def test_partition_log_offsets_contiguous_and_truncation_consistent(sizes, trunc
     # Re-appending after truncation keeps offsets contiguous.
     record = log.append(key="x", value="x", size=1, timestamp=0.0, produced_at=0.0, leader_epoch=1)
     assert record.offset == log.log_end_offset - 1
+
+
+# ---------------------------------------------------------------------------
+# Segmented storage: compaction invariants
+# ---------------------------------------------------------------------------
+@given(
+    appends=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=5), st.integers(min_value=0, max_value=999)),
+        min_size=1,
+        max_size=60,
+    ),
+    segment_records=st.integers(min_value=1, max_value=9),
+)
+@settings(max_examples=100, deadline=None)
+def test_compaction_keeps_exactly_the_latest_value_per_key_in_offset_order(
+    appends, segment_records
+):
+    log = PartitionLog(
+        "t", 0,
+        storage=LogStorageConfig(
+            segment_records=segment_records, cleanup_policy="compact"
+        ),
+    )
+    for offset, (key, value) in enumerate(appends):
+        log.append(
+            key=f"k{key}", value=value, size=1, timestamp=float(offset),
+            produced_at=float(offset), leader_epoch=0,
+        )
+    log._seal_head()  # compaction only touches the sealed tier
+    log.compact()
+    latest = {}
+    for offset, (key, value) in enumerate(appends):
+        latest[f"k{key}"] = (offset, value)
+    expected = sorted(latest.values())
+    assert [(r.offset, r.value) for r in log.all_records()] == expected
+    # Offset-indexed lookups agree with the compacted view.
+    for offset, value in expected:
+        assert log.record_at(offset).value == value
+    # Compaction is idempotent.
+    assert log.compact() == 0
+
+
+@given(
+    script=st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=3),  # producer id
+            st.integers(min_value=0, max_value=4),  # key
+            st.booleans(),  # commit (True) or abort (False)
+        ),
+        min_size=1,
+        max_size=20,
+    ),
+    segment_records=st.integers(min_value=1, max_value=7),
+)
+@settings(max_examples=100, deadline=None)
+def test_committed_read_of_compacted_log_never_resurrects_aborted_records(
+    script, segment_records
+):
+    log = PartitionLog(
+        "t", 0,
+        storage=LogStorageConfig(
+            segment_records=segment_records, cleanup_policy="compact"
+        ),
+    )
+    sequences = {}
+    committed_values = set()
+    aborted_values = set()
+    for index, (pid, key, commit) in enumerate(script):
+        sequence = sequences.get(pid, 0)
+        batch = RecordBatch(
+            "t", 0, producer_id=pid, producer_epoch=0, base_sequence=sequence
+        )
+        batch.transactional = True
+        value = f"p{pid}-txn{index}"
+        batch.append(f"k{key}", value, 1, float(index))
+        log.append_batch(batch, timestamp=float(index), leader_epoch=0)
+        sequences[pid] = sequence + 1
+        log.append_control(
+            pid, 0, "commit" if commit else "abort",
+            timestamp=float(index), leader_epoch=0,
+        )
+        (committed_values if commit else aborted_values).add(value)
+    log._seal_head()
+    log.compact()
+    log.advance_high_watermark(log.log_end_offset)
+    skipped, _ = log.invisible_offsets(
+        0, log.log_end_offset, "read_committed"
+    )
+    skipped = set(skipped)
+    visible = [r.value for r in log.all_records() if r.offset not in skipped]
+    assert not aborted_values.intersection(visible)
+    assert set(visible).issubset(committed_values)
+    # Control markers are invisible to every isolation level.
+    uncommitted_skip, _ = log.invisible_offsets(
+        0, log.log_end_offset, "read_uncommitted"
+    )
+    for offset in uncommitted_skip:
+        assert log.record_at(offset).value in ("commit", "abort")
 
 
 # ---------------------------------------------------------------------------

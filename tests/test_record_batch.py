@@ -162,8 +162,16 @@ class TestPartitionLogBatchPaths:
         follower = PartitionLog("t", 0)
         gap = RecordBatch("t", 0, base_offset=5)
         gap.append(None, "x", 1, 0.0)
-        with pytest.raises(ValueError):
-            follower.append_wire_batch(gap)
+        if follower.storage is None:
+            # Flat layout: offsets are array indices, gaps are corruption.
+            with pytest.raises(ValueError):
+                follower.append_wire_batch(gap)
+        else:
+            # Segmented logs (--log-backend=segments) adopt a leader's
+            # retention/compaction gap with a forced segment boundary.
+            assert follower.append_wire_batch(gap) == 1
+            assert follower.log_end_offset == 6
+            assert follower.record_at(5).value == "x"
 
     def test_truncate_after_batch_append_keeps_size_accounting(self):
         log = self.make_log_via_batches()
